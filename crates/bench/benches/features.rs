@@ -1,0 +1,54 @@
+//! Feature-extraction hot paths: packet-group labeling and the 51-attribute
+//! launch vector (per flow, once at t = 5 s), and the per-slot stage
+//! features (per flow, every second) — the per-packet/per-slot costs an
+//! in-network deployment pays.
+
+use cgc_features::groups::label_groups;
+use cgc_features::launch_attrs::{launch_attributes, LaunchAttrConfig};
+use cgc_features::vol_attrs::{StageFeatureConfig, StageFeatureExtractor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::units::MICROS_PER_SEC;
+use nettrace::vol::VolSample;
+
+fn launch_window() -> Vec<nettrace::packet::Packet> {
+    let mut generator = SessionGenerator::new();
+    let s = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(cgc_domain::GameTitle::Fortnite),
+        settings: cgc_domain::StreamSettings::default_pc(),
+        gameplay_secs: 2.0,
+        fidelity: Fidelity::LaunchOnly,
+        seed: 1,
+    });
+    s.launch_window(5.0)
+}
+
+fn bench_features(c: &mut Criterion) {
+    let window = launch_window();
+    let cfg = LaunchAttrConfig::default();
+
+    let mut g = c.benchmark_group("features");
+    g.throughput(Throughput::Elements(window.len() as u64));
+    g.bench_function("label_groups_5s_window", |b| {
+        b.iter(|| label_groups(&window, 5 * MICROS_PER_SEC, MICROS_PER_SEC, 0.10))
+    });
+    g.bench_function("launch_attributes_51", |b| {
+        b.iter(|| launch_attributes(&window, &cfg))
+    });
+    g.finish();
+
+    let sample = VolSample {
+        down_bytes: 2_500_000,
+        down_pkts: 2100,
+        up_bytes: 12_000,
+        up_pkts: 110,
+    };
+    c.bench_function("stage_feature_push_per_slot", |b| {
+        let mut extractor =
+            StageFeatureExtractor::new(&StageFeatureConfig::default(), MICROS_PER_SEC, &[sample]);
+        b.iter(|| extractor.push(&sample))
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Model inference and training costs: Random Forest / SVM / KNN
+//! prediction on the 51-dimensional title attributes, and RF training at
+//! the deployed configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcore::forest::{RandomForest, RandomForestConfig};
+use mlcore::knn::{DistanceMetric, Knn};
+use mlcore::scale::StandardScaler;
+use mlcore::svm::{Kernel, SvmConfig, SvmOvr};
+use mlcore::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 13-class, 51-feature synthetic dataset shaped like the title problem.
+fn title_like_dataset(n_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for class in 0..13usize {
+        // Class-specific center in 51-D.
+        let center: Vec<f64> = (0..51)
+            .map(|f| ((class * 31 + f * 7) % 23) as f64 * 10.0)
+            .collect();
+        for _ in 0..n_per_class {
+            x.push(
+                center
+                    .iter()
+                    .map(|c| c + rng.gen_range(-12.0..12.0))
+                    .collect(),
+            );
+            y.push(class);
+        }
+    }
+    Dataset::new(x, y)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let train = title_like_dataset(30, 1);
+    let probe = train.x[0].clone();
+
+    let forest = RandomForest::fit(
+        &train,
+        &RandomForestConfig {
+            n_trees: 150,
+            max_depth: 10,
+            ..Default::default()
+        },
+    );
+    c.bench_function("rf150_predict_proba_51d", |b| {
+        b.iter(|| forest.predict_proba(&probe))
+    });
+    c.bench_function("rf150_fit_390x51", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                &train,
+                &RandomForestConfig {
+                    n_trees: 150,
+                    max_depth: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+
+    let scaler = StandardScaler::fit(&train);
+    let train_s = scaler.transform_dataset(&train);
+    let probe_s = scaler.transform(&probe);
+    let svm = SvmOvr::fit(
+        &train_s,
+        &SvmConfig {
+            kernel: Kernel::Rbf { gamma: 0.2 },
+            ..Default::default()
+        },
+    );
+    c.bench_function("svm_rbf_predict_51d", |b| {
+        b.iter(|| svm.predict_proba(&probe_s))
+    });
+
+    let knn = Knn::fit(&train_s, 5, DistanceMetric::Euclidean);
+    c.bench_function("knn5_predict_51d_390pts", |b| {
+        b.iter(|| knn.predict(&probe_s))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end pipeline costs: per-slot analyzer push (the steady-state
+//! per-second cost per monitored session) and whole-session analysis at
+//! fleet fidelity.
+
+use cgc_core::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer};
+use cgc_deploy::train::{train_bundle, TrainConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::vol::VolSample;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let bundle = train_bundle(&TrainConfig::quick());
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(cgc_domain::GameTitle::Overwatch2),
+        settings: cgc_domain::StreamSettings::default_pc(),
+        gameplay_secs: 300.0,
+        fidelity: Fidelity::LaunchOnly,
+        seed: 5,
+    });
+
+    c.bench_function("analyzer_push_slot", |b| {
+        let mut analyzer =
+            SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+        let sample = VolSample {
+            down_bytes: 2_000_000,
+            down_pkts: 1700,
+            up_bytes: 10_000,
+            up_pkts: 100,
+        };
+        // Get past the seed window once.
+        for _ in 0..12 {
+            analyzer.push_slot(&sample);
+        }
+        b.iter(|| analyzer.push_slot(&sample))
+    });
+
+    c.bench_function("title_classify_5s_window", |b| {
+        let window = session.launch_window(5.0);
+        b.iter(|| bundle.title.classify(&window))
+    });
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(session.duration() / 1_000_000));
+    g.sample_size(20);
+    g.bench_function("analyze_whole_session_350s", |b| {
+        b.iter(|| {
+            let mut analyzer =
+                SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+            analyzer.analyze(&session.packets, &session.vol);
+            analyzer.finish()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Traffic substrate costs: session generation at both fidelities and the
+//! pcap codec round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::pcap::{read_records, PcapWriter};
+
+fn config(fidelity: Fidelity, secs: f64) -> SessionConfig {
+    SessionConfig {
+        kind: TitleKind::Known(cgc_domain::GameTitle::CsGo),
+        settings: cgc_domain::StreamSettings::default_pc(),
+        gameplay_secs: secs,
+        fidelity,
+        seed: 3,
+    }
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gamesim");
+    g.sample_size(20);
+    g.bench_function("generate_fleet_session_300s", |b| {
+        let mut generator = SessionGenerator::new();
+        b.iter(|| generator.generate(&config(Fidelity::LaunchOnly, 300.0)))
+    });
+    g.bench_function("generate_full_session_60s", |b| {
+        let mut generator = SessionGenerator::new();
+        b.iter(|| generator.generate(&config(Fidelity::FullPackets, 60.0)))
+    });
+    g.finish();
+
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&config(Fidelity::FullPackets, 30.0));
+    let mut pcap_buf = Vec::new();
+    PcapWriter::new(&mut pcap_buf)
+        .and_then(|mut w| w.write_session(&session.tuple, &session.packets))
+        .unwrap();
+    let path = std::env::temp_dir().join("gamescope_bench.pcap");
+    std::fs::write(&path, &pcap_buf).unwrap();
+
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Elements(session.packets.len() as u64));
+    g.sample_size(20);
+    g.bench_function("write_session", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(pcap_buf.len());
+            PcapWriter::new(&mut buf)
+                .and_then(|mut w| w.write_session(&session.tuple, &session.packets))
+                .unwrap();
+            buf
+        })
+    });
+    g.bench_function("read_session", |b| b.iter(|| read_records(&path).unwrap()));
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! Ablations of the design choices DESIGN.md calls out. Each ablation is
+//! staged where the design choice actually bites:
+//!
+//! 1. **EMA smoothing** — at fine slots (`I = 0.5 s`) where single-slot
+//!    volumetric noise is strongest (at `I = 1 s` aggregation already
+//!    smooths; see exp_fig10 for the full grid).
+//! 2. **Peak-relative normalization vs absolute volumetrics** — under a
+//!    settings shift: train on SD–FHD sessions, test on QHD/UHD sessions.
+//!    Absolute levels move with the settings; relative levels do not
+//!    (the §3.3 claim).
+//! 3. **Group tolerance V** — labeling behaviour: the fraction of non-full
+//!    packets labeled steady grows with V (the §4.4.1 boundary), plus the
+//!    resulting title accuracy.
+//! 4. **Variation augmentation** — with two training sessions per title,
+//!    where synthetic variation has samples to replace.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_ablations
+//! ```
+
+use cgc_bench::{default_forest, eval_title, AttrKind, LaunchCorpus};
+use cgc_core::stage::{stage_class_id, StageClassifier, StageClassifierConfig};
+use cgc_deploy::report::{f, pct, table, write_json};
+use cgc_domain::{GameTitle, Resolution, Stage, StreamSettings};
+use cgc_features::groups::{label_groups, GroupLabel};
+use cgc_features::launch_attrs::LaunchAttrConfig;
+use cgc_features::vol_attrs::{raw_features, StageFeatureConfig};
+use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
+use mlcore::Dataset;
+use nettrace::units::{Micros, MICROS_PER_SEC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Ablation {
+    name: String,
+    variant: String,
+    metric: String,
+    value: f64,
+}
+
+/// Sessions with resolutions restricted to a tier set.
+fn sessions_with_resolutions(
+    n: usize,
+    gameplay_secs: f64,
+    resolutions: &[Resolution],
+    seed: u64,
+) -> Vec<Session> {
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let settings = StreamSettings {
+                resolution: resolutions[rng.gen_range(0..resolutions.len())],
+                fps: *[30u32, 60, 120].get(rng.gen_range(0..3)).unwrap(),
+                ..StreamSettings::default_pc()
+            };
+            generator.generate(&SessionConfig {
+                kind: TitleKind::Known(GameTitle::ALL[i % GameTitle::ALL.len()]),
+                settings,
+                gameplay_secs,
+                fidelity: Fidelity::LaunchOnly,
+                seed: seed.wrapping_mul(131).wrapping_add(i as u64),
+            })
+        })
+        .collect()
+}
+
+/// Per-slot rows with either relative (pipeline) or absolute features.
+fn stage_rows(
+    sessions: &[Session],
+    slot: Micros,
+    alpha: f64,
+    relative: bool,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let seed_slots = ((10_000_000 / slot) as usize).max(3);
+    for s in sessions {
+        if relative {
+            let cfg = StageFeatureConfig {
+                alpha,
+                ..Default::default()
+            };
+            for (feats, stage) in cgc_bench::session_stage_rows(s, slot, &cfg, seed_slots) {
+                x.push(feats.to_vec());
+                y.push(stage_class_id(stage));
+            }
+        } else {
+            let vol = s.vol_at(slot);
+            for (j, sample) in vol.samples.iter().enumerate().skip(seed_slots) {
+                let midpoint = j as u64 * slot + slot / 2;
+                let Some(stage) = s.timeline.stage_at(midpoint) else {
+                    continue;
+                };
+                x.push(raw_features(sample, slot as f64 / 1e6).to_vec());
+                y.push(stage_class_id(stage));
+            }
+        }
+    }
+    (x, y)
+}
+
+fn stage_accuracy(train: (Vec<Vec<f64>>, Vec<usize>), test: (Vec<Vec<f64>>, Vec<usize>)) -> f64 {
+    let d = Dataset::new(train.0, train.1).with_n_classes(4);
+    let clf = StageClassifier::train(&d, StageClassifierConfig::default());
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for (xi, yi) in test.0.iter().zip(&test.1) {
+        if *yi == stage_class_id(Stage::Launch) {
+            continue;
+        }
+        total += 1;
+        if stage_class_id(clf.classify(&[xi[0], xi[1], xi[2], xi[3]])) == *yi {
+            ok += 1;
+        }
+    }
+    ok as f64 / total.max(1) as f64
+}
+
+fn main() {
+    println!("== ablations of the paper's design choices ==\n");
+    let mut results = Vec::new();
+
+    // --- 1. EMA at fine slots (I = 0.5 s). ---
+    let train_any = sessions_with_resolutions(24, 420.0, &Resolution::ALL, 181);
+    let test_any = sessions_with_resolutions(12, 420.0, &Resolution::ALL, 182);
+    for alpha in [0.1, 0.5, 1.0] {
+        let acc = stage_accuracy(
+            stage_rows(&train_any, 500_000, alpha, true),
+            stage_rows(&test_any, 500_000, alpha, true),
+        );
+        results.push(Ablation {
+            name: "stage: EMA at I=0.5s".into(),
+            variant: format!("alpha={alpha}"),
+            metric: "accuracy".into(),
+            value: acc,
+        });
+    }
+
+    // --- 2. Relative vs absolute under a settings shift. ---
+    let train_low = sessions_with_resolutions(
+        24,
+        420.0,
+        &[Resolution::Sd, Resolution::Hd, Resolution::Fhd],
+        183,
+    );
+    let test_high = sessions_with_resolutions(12, 420.0, &[Resolution::Qhd, Resolution::Uhd], 184);
+    let acc_rel = stage_accuracy(
+        stage_rows(&train_low, MICROS_PER_SEC, 0.5, true),
+        stage_rows(&test_high, MICROS_PER_SEC, 0.5, true),
+    );
+    let acc_abs = stage_accuracy(
+        stage_rows(&train_low, MICROS_PER_SEC, 0.5, false),
+        stage_rows(&test_high, MICROS_PER_SEC, 0.5, false),
+    );
+    results.push(Ablation {
+        name: "stage: train SD-FHD, test QHD-UHD".into(),
+        variant: "peak-relative (paper)".into(),
+        metric: "accuracy".into(),
+        value: acc_rel,
+    });
+    results.push(Ablation {
+        name: "stage: train SD-FHD, test QHD-UHD".into(),
+        variant: "absolute volumetrics".into(),
+        metric: "accuracy".into(),
+        value: acc_abs,
+    });
+
+    // --- 3. Group tolerance V: labeling behaviour + accuracy. ---
+    let corpus = LaunchCorpus::generate(18, 10, 5.5, 93);
+    for v in [0.01, 0.05, 0.10, 0.15, 0.20] {
+        // Steady share among non-full packets over a sample of sessions.
+        let mut steady = 0usize;
+        let mut non_full = 0usize;
+        for (_, pkts) in corpus.test.iter().take(26) {
+            for l in label_groups(pkts, 5_500_000, MICROS_PER_SEC, v) {
+                match l.label {
+                    GroupLabel::Full => {}
+                    GroupLabel::Steady => {
+                        steady += 1;
+                        non_full += 1;
+                    }
+                    GroupLabel::Sparse => non_full += 1,
+                }
+            }
+        }
+        results.push(Ablation {
+            name: "title: group tolerance V".into(),
+            variant: pct(v),
+            metric: "steady share of non-full".into(),
+            value: steady as f64 / non_full.max(1) as f64,
+        });
+        let cfg = LaunchAttrConfig {
+            v,
+            ..LaunchAttrConfig::default()
+        };
+        let eval = eval_title(&corpus, &cfg, AttrKind::PacketGroup, &default_forest(), 2);
+        results.push(Ablation {
+            name: "title: group tolerance V".into(),
+            variant: pct(v),
+            metric: "accuracy".into(),
+            value: eval.accuracy,
+        });
+    }
+
+    // --- 4. Augmentation with scarce training data. ---
+    let scarce = LaunchCorpus::generate(2, 10, 5.5, 94);
+    let cfg = LaunchAttrConfig::default();
+    for (aug, label) in [(1usize, "off"), (6, "x6")] {
+        let eval = eval_title(&scarce, &cfg, AttrKind::PacketGroup, &default_forest(), aug);
+        results.push(Ablation {
+            name: "title: augmentation (2 sessions/title)".into(),
+            variant: label.into(),
+            metric: "accuracy".into(),
+            value: eval.accuracy,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.clone(),
+                a.variant.clone(),
+                a.metric.clone(),
+                f(a.value * 100.0, 1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["ablation", "variant", "metric", "value (%)"], &rows)
+    );
+
+    println!("\nShape checks:");
+    println!("  EMA: the mid alpha should beat both extremes at fine slots");
+    println!("  relative features must survive the settings shift better than absolute");
+    println!("  steady share must grow monotonically with V (the 1%-vs-20% boundary of §4.4.1);");
+    println!("  title accuracy itself is V-robust on our traffic (count attributes dominate)");
+    println!("  augmentation: neutral on our synthetic launches (the generator already");
+    println!("  supplies the variation the paper synthesized for real captures)");
+
+    if let Ok(p) = write_json("ablations", &results) {
+        println!("\nwrote {}", p.display());
+    }
+}

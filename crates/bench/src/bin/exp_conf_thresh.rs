@@ -1,0 +1,132 @@
+//! §4.4.2 — confidence threshold for gameplay activity pattern inference:
+//! per-session accuracy and mean time-to-decision as the threshold sweeps
+//! 0 % → 95 %. The paper selects 75 % (≈90 % accuracy, ~5 minutes to a
+//! confident result).
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_conf_thresh
+//! ```
+
+use cgc_bench::cached_bundle;
+use cgc_core::pattern::PatternTracker;
+use cgc_deploy::report::{f, pct, table, write_json};
+use cgc_domain::{ActivityPattern, GameTitle, Stage};
+use cgc_features::vol_attrs::StageFeatureExtractor;
+use gamesim::dataset::sample_lab_settings;
+use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    threshold: f64,
+    accuracy: f64,
+    decided_fraction: f64,
+    mean_decision_secs: f64,
+}
+
+/// The classified stage sequence of a session (the tracker's input).
+fn classified_stages(bundle: &cgc_core::ModelBundle, s: &Session) -> Vec<Stage> {
+    let vol = s.vol_at(bundle.stage_slot);
+    let seed_slots = 10usize.min(vol.len());
+    let mut extractor = StageFeatureExtractor::new(
+        &bundle.stage_feature,
+        bundle.stage_slot,
+        &vol.samples[..seed_slots],
+    );
+    vol.samples
+        .iter()
+        .skip(seed_slots)
+        .map(|sample| bundle.stage.classify(&extractor.push(sample)))
+        .collect()
+}
+
+fn main() {
+    println!("== confidence threshold sweep for pattern inference ==\n");
+    let bundle = cached_bundle();
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // Pre-classify stage sequences once; replay per threshold.
+    let mut sequences: Vec<(ActivityPattern, Vec<Stage>)> = Vec::new();
+    for pattern in ActivityPattern::ALL {
+        let titles: Vec<GameTitle> = GameTitle::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.pattern() == pattern)
+            .collect();
+        for i in 0..30usize {
+            let s = generator.generate(&SessionConfig {
+                kind: TitleKind::Known(titles[i % titles.len()]),
+                settings: sample_lab_settings(&mut rng),
+                gameplay_secs: 1200.0,
+                fidelity: Fidelity::LaunchOnly,
+                seed: 60_000 + pattern.index() as u64 * 1000 + i as u64,
+            });
+            sequences.push((pattern, classified_stages(&bundle, &s)));
+        }
+    }
+
+    let thresholds = [0.0, 0.2, 0.4, 0.55, 0.65, 0.75, 0.85, 0.90, 0.95];
+    let mut points = Vec::new();
+    for &thr in &thresholds {
+        // Re-training is unnecessary: the threshold only gates the tracker.
+        let inferrer = bundle
+            .pattern
+            .with_config(cgc_core::pattern::PatternInferrerConfig {
+                confidence_threshold: thr,
+                min_transitions: if thr == 0.0 { 1 } else { 30 },
+                ..*bundle.pattern.config()
+            });
+
+        let mut ok = 0usize;
+        let mut decided = 0usize;
+        let mut decision_slots = 0u64;
+        for (truth, seq) in &sequences {
+            let mut tracker = PatternTracker::new();
+            for &st in seq {
+                tracker.push(st, &inferrer);
+            }
+            if let Some(d) = tracker.decision() {
+                decided += 1;
+                decision_slots += d.decided_after_slots;
+                if d.pattern == *truth {
+                    ok += 1;
+                }
+            }
+        }
+        points.push(Point {
+            threshold: thr,
+            accuracy: ok as f64 / decided.max(1) as f64,
+            decided_fraction: decided as f64 / sequences.len() as f64,
+            mean_decision_secs: decision_slots as f64 / decided.max(1) as f64,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                pct(p.threshold),
+                pct(p.accuracy),
+                pct(p.decided_fraction),
+                f(p.mean_decision_secs, 0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["threshold", "accuracy", "decided", "mean decision time (s)"],
+            &rows
+        )
+    );
+    println!(
+        "\nShape check vs paper: low thresholds decide within seconds but\ninaccurately; 75% lands around 90% accuracy within minutes; 95% pushes\ndecisions very late or never."
+    );
+
+    if let Ok(p) = write_json("conf_thresh", &points) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 10 — player activity stage classification accuracy as a
+//! function of the EMA current-slot weight `α` for slot widths
+//! `I ∈ {0.1, 0.5, 1, 2} s`.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_fig10
+//! ```
+
+use cgc_bench::{gameplay_sessions, session_stage_rows};
+use cgc_core::stage::{stage_class_id, StageClassifier, StageClassifierConfig};
+use cgc_deploy::report::{f, table, write_json};
+use cgc_domain::Stage;
+use cgc_features::vol_attrs::StageFeatureConfig;
+use mlcore::Dataset;
+use nettrace::units::Micros;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sweep {
+    slot_secs: f64,
+    alphas: Vec<f64>,
+    accuracy: Vec<f64>,
+}
+
+/// Builds per-slot rows for a session set, capping the per-config row
+/// count so the 0.1 s sweeps stay tractable.
+fn rows_for(
+    sessions: &[gamesim::Session],
+    slot: Micros,
+    alpha: f64,
+    cap: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let cfg = StageFeatureConfig {
+        alpha,
+        ..Default::default()
+    };
+    // Seed window always spans ~10 s of launch regardless of slot width.
+    let seed_slots = ((10_000_000 / slot) as usize).max(3);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for s in sessions {
+        for (feats, stage) in session_stage_rows(s, slot, &cfg, seed_slots) {
+            x.push(feats.to_vec());
+            y.push(stage_class_id(stage));
+        }
+    }
+    if x.len() > cap {
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        idx.truncate(cap);
+        let xs = idx.iter().map(|&i| x[i].clone()).collect();
+        let ys = idx.iter().map(|&i| y[i]).collect();
+        return (xs, ys);
+    }
+    (x, y)
+}
+
+fn main() {
+    println!("== Figure 10: stage accuracy vs EMA weight alpha for slot widths I ==\n");
+    let train_sessions = gameplay_sessions(26, 420.0, 31);
+    let test_sessions = gameplay_sessions(13, 420.0, 77);
+    let alphas: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
+    let slots: [(f64, Micros); 4] = [
+        (0.1, 100_000),
+        (0.5, 500_000),
+        (1.0, 1_000_000),
+        (2.0, 2_000_000),
+    ];
+
+    let mut sweeps = Vec::new();
+    for &(slot_secs, slot) in &slots {
+        let mut acc_by_alpha = Vec::new();
+        for &alpha in &alphas {
+            let (xtr, ytr) = rows_for(&train_sessions, slot, alpha, 24_000, 1);
+            let (xte, yte) = rows_for(&test_sessions, slot, alpha, 12_000, 2);
+            let train = Dataset::new(xtr, ytr).with_n_classes(4);
+            let clf = StageClassifier::train(&train, StageClassifierConfig::default());
+            // Score gameplay slots only (Table 4 convention).
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (xi, &yi) in xte.iter().zip(&yte) {
+                if yi == stage_class_id(Stage::Launch) {
+                    continue;
+                }
+                total += 1;
+                let feats: [f64; 4] = [xi[0], xi[1], xi[2], xi[3]];
+                if stage_class_id(clf.classify(&feats)) == yi {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / total.max(1) as f64;
+            acc_by_alpha.push(acc);
+            eprintln!("I={slot_secs}s alpha={alpha:.1} -> {:.1}%", acc * 100.0);
+        }
+        sweeps.push(Sweep {
+            slot_secs,
+            alphas: alphas.clone(),
+            accuracy: acc_by_alpha,
+        });
+    }
+
+    let mut rows = Vec::new();
+    for (i, alpha) in alphas.iter().enumerate() {
+        let mut row = vec![format!("{alpha:.1}")];
+        row.extend(sweeps.iter().map(|s| f(s.accuracy[i] * 100.0, 1)));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(&["alpha", "I=0.1s", "I=0.5s", "I=1s", "I=2s"], &rows)
+    );
+
+    let best = |s: &Sweep| {
+        s.alphas
+            .iter()
+            .zip(&s.accuracy)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(a, acc)| (*a, *acc))
+            .unwrap()
+    };
+    println!("\nShape check vs paper:");
+    for s in &sweeps {
+        let (a, acc) = best(s);
+        println!(
+            "  I={}s peaks at alpha={:.1} with {}",
+            s.slot_secs,
+            a,
+            f(acc * 100.0, 1)
+        );
+    }
+    let acc_1s = best(&sweeps[2]).1;
+    let acc_01s = best(&sweeps[0]).1;
+    println!(
+        "  I=1s best ({}) should beat I=0.1s best ({}); alpha sweet spot ~0.5",
+        f(acc_1s * 100.0, 1),
+        f(acc_01s * 100.0, 1)
+    );
+
+    if let Ok(p) = write_json("fig10", &sweeps) {
+        println!("\nwrote {}", p.display());
+    }
+}

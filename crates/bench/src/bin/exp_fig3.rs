@@ -1,0 +1,172 @@
+//! Figure 3 — launch-stage packet scatter: payload size vs arrival time
+//! over the first 60 seconds, with full/steady/sparse group labels.
+//! Four sessions: Genshin Impact under three different settings (the
+//! group structure must stay put) and Fortnite (it must differ).
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_fig3
+//! ```
+
+use cgc_deploy::report::{f, table, write_json};
+use cgc_domain::{DeviceClass, GameTitle, Os, Resolution, Software, StreamSettings};
+use cgc_features::groups::{label_groups, GroupLabel};
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::units::MICROS_PER_SEC;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Scatter {
+    label: String,
+    /// `(t_secs, payload, group)` triples (downsampled for the JSON).
+    points: Vec<(f64, u32, String)>,
+    /// Per-second full-packet counts (the slot profile).
+    full_per_sec: Vec<usize>,
+    /// Per-second mean steady payload (0 when absent).
+    steady_mean_per_sec: Vec<f64>,
+}
+
+fn scatter_of(label: &str, title: GameTitle, settings: StreamSettings, seed: u64) -> Scatter {
+    let mut generator = SessionGenerator::new();
+    let s = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(title),
+        settings,
+        gameplay_secs: 10.0,
+        fidelity: Fidelity::LaunchOnly,
+        seed,
+    });
+    let labeled = label_groups(&s.packets, 60 * MICROS_PER_SEC, MICROS_PER_SEC, 0.10);
+    let n_secs = 60usize;
+    let mut full_per_sec = vec![0usize; n_secs];
+    let mut steady_sum = vec![0f64; n_secs];
+    let mut steady_ct = vec![0usize; n_secs];
+    for lp in &labeled {
+        let sec = (lp.packet.ts / MICROS_PER_SEC) as usize;
+        if sec >= n_secs {
+            continue;
+        }
+        match lp.label {
+            GroupLabel::Full => full_per_sec[sec] += 1,
+            GroupLabel::Steady => {
+                steady_sum[sec] += f64::from(lp.packet.payload_len);
+                steady_ct[sec] += 1;
+            }
+            GroupLabel::Sparse => {}
+        }
+    }
+    let steady_mean_per_sec = steady_sum
+        .iter()
+        .zip(&steady_ct)
+        .map(|(s, c)| if *c > 0 { s / *c as f64 } else { 0.0 })
+        .collect();
+    Scatter {
+        label: label.to_string(),
+        points: labeled
+            .iter()
+            .step_by(17) // downsample for the JSON artifact
+            .map(|lp| {
+                (
+                    lp.packet.ts as f64 / 1e6,
+                    lp.packet.payload_len,
+                    lp.label.short().to_string(),
+                )
+            })
+            .collect(),
+        full_per_sec,
+        steady_mean_per_sec,
+    }
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len()) as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+fn main() {
+    println!("== Figure 3: launch-stage packet groups across settings and titles ==\n");
+    let win_fhd = StreamSettings::default_pc();
+    let mac_qhd = StreamSettings {
+        platform: win_fhd.platform,
+        device: DeviceClass::Pc,
+        os: Os::MacOs,
+        software: Software::Browser,
+        resolution: Resolution::Qhd,
+        fps: 120,
+    };
+    let mobile_hd = StreamSettings {
+        platform: win_fhd.platform,
+        device: DeviceClass::Mobile,
+        os: Os::Android,
+        software: Software::NativeApp,
+        resolution: Resolution::Hd,
+        fps: 30,
+    };
+
+    let a = scatter_of(
+        "(a) Genshin, Windows FHD/60",
+        GameTitle::GenshinImpact,
+        win_fhd,
+        11,
+    );
+    let b = scatter_of(
+        "(b) Genshin, macOS QHD/120",
+        GameTitle::GenshinImpact,
+        mac_qhd,
+        22,
+    );
+    let c = scatter_of(
+        "(c) Genshin, Android HD/30",
+        GameTitle::GenshinImpact,
+        mobile_hd,
+        33,
+    );
+    let d = scatter_of(
+        "(d) Fortnite, Windows FHD/60",
+        GameTitle::Fortnite,
+        win_fhd,
+        44,
+    );
+
+    let profile = |s: &Scatter| -> Vec<f64> { s.full_per_sec.iter().map(|&x| x as f64).collect() };
+    let rows = vec![
+        vec![
+            "(a) vs (b): same title, different settings".to_string(),
+            f(correlation(&profile(&a), &profile(&b)), 3),
+        ],
+        vec![
+            "(a) vs (c): same title, different device class".to_string(),
+            f(correlation(&profile(&a), &profile(&c)), 3),
+        ],
+        vec![
+            "(a) vs (d): different titles".to_string(),
+            f(correlation(&profile(&a), &profile(&d)), 3),
+        ],
+    ];
+    println!(
+        "{}",
+        table(
+            &["Comparison (full-packet slot profiles)", "correlation"],
+            &rows
+        )
+    );
+    println!(
+        "Shape check vs paper: same-title correlations stay high across\nsettings; the cross-title correlation is visibly lower."
+    );
+
+    for s in [&a, &b, &c, &d] {
+        let full: usize = s.full_per_sec.iter().sum();
+        let steady_secs = s.steady_mean_per_sec.iter().filter(|&&m| m > 0.0).count();
+        println!(
+            "{}: {} full pkts / 60 s, steady bands active in {} s",
+            s.label, full, steady_secs
+        );
+    }
+
+    if let Ok(p) = write_json("fig3", &vec![a, b, c, d]) {
+        println!("\nwrote {}", p.display());
+    }
+}

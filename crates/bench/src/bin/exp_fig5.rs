@@ -1,0 +1,107 @@
+//! Figure 5 — per-pattern stage playtime fractions and transition
+//! probabilities, computed from ground-truth stage timelines of a lab-scale
+//! session set.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_fig5
+//! ```
+
+use cgc_deploy::report::{pct, table, write_json};
+use cgc_domain::{ActivityPattern, GameTitle, Stage};
+use cgc_features::transitions::TransitionAccumulator;
+use gamesim::dataset::sample_lab_settings;
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::units::MICROS_PER_SEC;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PatternStats {
+    pattern: String,
+    sessions: usize,
+    /// Mean playtime fractions `[idle, passive, active]`.
+    fractions: [f64; 3],
+    /// Row-conditional transition probabilities, rows/cols idle/passive/active.
+    transitions: [[f64; 3]; 3],
+}
+
+fn main() {
+    println!("== Figure 5: stage fractions and transition probabilities per pattern ==\n");
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut out = Vec::new();
+
+    for pattern in ActivityPattern::ALL {
+        let titles: Vec<GameTitle> = GameTitle::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.pattern() == pattern)
+            .collect();
+        let mut fractions = [0.0f64; 3];
+        let mut acc = TransitionAccumulator::new();
+        let n = 60usize;
+        for i in 0..n {
+            let s = generator.generate(&SessionConfig {
+                kind: TitleKind::Known(titles[i % titles.len()]),
+                settings: sample_lab_settings(&mut rng),
+                gameplay_secs: 1800.0,
+                fidelity: Fidelity::LaunchOnly,
+                seed: 1000 + pattern.index() as u64 * 500 + i as u64,
+            });
+            for (k, stage) in Stage::GAMEPLAY.iter().enumerate() {
+                fractions[k] += s.timeline.gameplay_fraction(*stage) / n as f64;
+            }
+            for st in s.timeline.slot_stages(MICROS_PER_SEC) {
+                acc.push(st);
+            }
+            acc.push(Stage::Launch); // separate sessions
+        }
+        out.push(PatternStats {
+            pattern: pattern.to_string(),
+            sessions: n,
+            fractions,
+            transitions: acc.row_probabilities(),
+        });
+    }
+
+    for p in &out {
+        println!("{} ({} sessions):", p.pattern, p.sessions);
+        println!(
+            "  playtime: idle {}  passive {}  active {}",
+            pct(p.fractions[0]),
+            pct(p.fractions[1]),
+            pct(p.fractions[2])
+        );
+        let names = ["idle", "passive", "active"];
+        let rows: Vec<Vec<String>> = (0..3)
+            .map(|i| {
+                let mut row = vec![names[i].to_string()];
+                row.extend((0..3).map(|j| pct(p.transitions[i][j])));
+                row
+            })
+            .collect();
+        println!(
+            "{}",
+            table(&["from\\to", "idle", "passive", "active"], &rows)
+        );
+    }
+
+    let spectate = &out[0];
+    let continuous = &out[1];
+    println!("Shape check vs paper:");
+    println!(
+        "  spectate-and-play active fraction {} (paper: 40-60%), passive > idle: {}",
+        pct(spectate.fractions[2]),
+        spectate.fractions[1] > spectate.fractions[0]
+    );
+    println!(
+        "  continuous-play passive fraction {} (paper: <5%), active+idle {}",
+        pct(continuous.fractions[1]),
+        pct(continuous.fractions[0] + continuous.fractions[2])
+    );
+
+    if let Ok(p) = write_json("fig5", &out) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 8 — game title classification accuracy as a function of the
+//! analysis window `N` (seconds from launch) for four time-slot widths
+//! `T ∈ {0.1, 0.5, 1, 2} s`.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_fig8
+//! ```
+
+use cgc_bench::{default_forest, eval_title, AttrKind, LaunchCorpus};
+use cgc_deploy::report::{f, table, write_json};
+use cgc_features::launch_attrs::LaunchAttrConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sweep {
+    slot_secs: f64,
+    windows: Vec<f64>,
+    accuracy: Vec<f64>,
+}
+
+fn main() {
+    println!("== Figure 8: accuracy vs window N for slot widths T ==\n");
+    let corpus = LaunchCorpus::generate(15, 8, 61.0, 8);
+    let windows = [1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 45.0, 60.0];
+    let slots = [0.1, 0.5, 1.0, 2.0];
+    let forest = default_forest();
+
+    let mut sweeps = Vec::new();
+    for &t in &slots {
+        let mut acc = Vec::new();
+        for &n in &windows {
+            if n < t {
+                acc.push(0.0);
+                continue;
+            }
+            let cfg = LaunchAttrConfig {
+                window_secs: n,
+                slot_secs: t,
+                v: 0.10,
+            };
+            let eval = eval_title(&corpus, &cfg, AttrKind::PacketGroup, &forest, 2);
+            acc.push(eval.accuracy);
+            eprintln!("T={t}s N={n}s -> {:.1}%", eval.accuracy * 100.0);
+        }
+        sweeps.push(Sweep {
+            slot_secs: t,
+            windows: windows.to_vec(),
+            accuracy: acc,
+        });
+    }
+
+    let mut rows = Vec::new();
+    for (i, &n) in windows.iter().enumerate() {
+        let mut row = vec![format!("{n}")];
+        row.extend(sweeps.iter().map(|s| f(s.accuracy[i] * 100.0, 1)));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(&["N (s)", "T=0.1s", "T=0.5s", "T=1s", "T=2s"], &rows)
+    );
+
+    // Shape checks.
+    let at = |t_idx: usize, n: f64| {
+        let i = windows.iter().position(|&x| x == n).unwrap();
+        sweeps[t_idx].accuracy[i]
+    };
+    println!("\nShape check vs paper:");
+    println!(
+        "  T=1s rises with N and saturates by N=3-5s: N=1 {} < N=3 {} <= N=60 {}",
+        f(at(2, 1.0) * 100.0, 1),
+        f(at(2, 3.0) * 100.0, 1),
+        f(at(2, 60.0) * 100.0, 1)
+    );
+    println!(
+        "  at N=5s, T=1s ({}) should beat T=0.1s ({})",
+        f(at(2, 5.0) * 100.0, 1),
+        f(at(0, 5.0) * 100.0, 1)
+    );
+
+    if let Ok(p) = write_json("fig8", &sweeps) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 9 — permutation importance of the 51 launch attributes in the
+//! best-performing Random Forest title classifier, grouped by packet group
+//! (full/steady/sparse) and metric (count/size/inter-arrival time).
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_fig9
+//! ```
+
+use cgc_bench::{default_forest, deployed_attr_config, eval_title, AttrKind, LaunchCorpus};
+use cgc_deploy::report::{f, table, write_json};
+use mlcore::importance::permutation_importance_grouped;
+use mlcore::permutation_importance;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Attr {
+    name: String,
+    group: String,
+    metric: String,
+    importance: f64,
+}
+
+fn main() {
+    println!("== Figure 9: permutation importance of the 51 launch attributes ==\n");
+    let corpus = LaunchCorpus::generate(25, 40, 5.5, 9);
+    let cfg = deployed_attr_config();
+    let eval = eval_title(&corpus, &cfg, AttrKind::PacketGroup, &default_forest(), 2);
+    let imp = permutation_importance(&eval.forest, &eval.test, 12, 17);
+
+    let names = cfg.attribute_names();
+    let mut attrs: Vec<Attr> = names
+        .iter()
+        .zip(&imp)
+        .map(|(n, &v)| {
+            let group = n.split('_').next().unwrap_or("?").to_string();
+            let metric = if n.contains("_ct_") {
+                "count"
+            } else if n.contains("_sz_") {
+                "size"
+            } else {
+                "iat"
+            };
+            Attr {
+                name: n.clone(),
+                group,
+                metric: metric.to_string(),
+                importance: v,
+            }
+        })
+        .collect();
+
+    let mut sorted: Vec<&Attr> = attrs.iter().collect();
+    sorted.sort_by(|a, b| b.importance.partial_cmp(&a.importance).unwrap());
+    let rows: Vec<Vec<String>> = sorted
+        .iter()
+        .take(15)
+        .map(|a| {
+            vec![
+                a.name.clone(),
+                a.group.clone(),
+                a.metric.clone(),
+                f(a.importance, 4),
+            ]
+        })
+        .collect();
+    println!("Top 15 attributes:");
+    println!(
+        "{}",
+        table(&["attribute", "group", "metric", "importance"], &rows)
+    );
+
+    let near_zero: Vec<&Attr> = attrs.iter().filter(|a| a.importance < 2e-4).collect();
+    let nz_full = near_zero.iter().filter(|a| a.group == "full").count();
+    let nz_steady = near_zero.iter().filter(|a| a.group == "steady").count();
+    let nz_sparse = near_zero.iter().filter(|a| a.group == "sparse").count();
+    println!(
+        "Attributes with ~zero importance: {} total ({} full, {} steady, {} sparse)",
+        near_zero.len(),
+        nz_full,
+        nz_steady,
+        nz_sparse
+    );
+    let full_size_zero = attrs
+        .iter()
+        .filter(|a| a.group == "full" && a.metric == "size")
+        .all(|a| a.importance < 2e-4);
+    println!(
+        "Shape check vs paper: the paper finds 8 zero-importance attributes,\nseven of them full-group; in our run every full-group *size* attribute is\nstructurally zero (mean = max payload, std = 0): {full_size_zero}."
+    );
+    // Individual importances under-report because the 51 attributes are
+    // highly redundant (shuffling one leaves fifty carrying the signal),
+    // so also measure *joint* group importance: all attributes of a packet
+    // group permuted together.
+    let groups: Vec<Vec<usize>> = ["full", "steady", "sparse"]
+        .iter()
+        .map(|g| {
+            names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.starts_with(g))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let joint = permutation_importance_grouped(&eval.forest, &eval.test, &groups, 8, 23);
+    println!(
+        "
+Joint (group-wise) permutation importance:"
+    );
+    for (g, v) in ["full", "steady", "sparse"].iter().zip(&joint) {
+        println!("  {g:<8} {}", f(*v, 3));
+    }
+
+    attrs.sort_by(|a, b| a.name.cmp(&b.name));
+    if let Ok(p) = write_json("fig9", &attrs) {
+        println!("\nwrote {}", p.display());
+    }
+}

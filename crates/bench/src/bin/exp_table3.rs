@@ -1,0 +1,80 @@
+//! Table 3 — Game title classification accuracy of the best-performing
+//! classifier using packet-group attributes vs standard flow-volumetric
+//! attributes.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_table3
+//! ```
+
+use cgc_bench::{deployed_attr_config, eval_title, AttrKind, LaunchCorpus};
+use cgc_deploy::report::{pct, table, write_json};
+use cgc_domain::GameTitle;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    title: String,
+    accuracy_packet_group: f64,
+    accuracy_flow_volumetric: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<Row>,
+    overall_packet_group: f64,
+    overall_flow_volumetric: f64,
+}
+
+fn main() {
+    println!("== Table 3: packet-group vs flow-volumetric attributes ==\n");
+    let corpus = LaunchCorpus::generate(30, 15, 5.5, 42);
+    let cfg = deployed_attr_config();
+    let forest = cgc_bench::default_forest();
+
+    let group = eval_title(&corpus, &cfg, AttrKind::PacketGroup, &forest, 3);
+    let vol = eval_title(&corpus, &cfg, AttrKind::FlowVolumetric, &forest, 3);
+
+    let rows: Vec<Row> = GameTitle::ALL
+        .iter()
+        .map(|t| Row {
+            title: t.name().to_string(),
+            accuracy_packet_group: group.confusion.recall(t.index()),
+            accuracy_flow_volumetric: vol.confusion.recall(t.index()),
+        })
+        .collect();
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.title.clone(),
+                pct(r.accuracy_packet_group),
+                pct(r.accuracy_flow_volumetric),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Game title", "Accur. (pkt. group)", "Accur. (flow vol.)"],
+            &printable
+        )
+    );
+    println!(
+        "Overall: packet-group {}  flow-volumetric {}",
+        pct(group.accuracy),
+        pct(vol.accuracy)
+    );
+    println!(
+        "\nShape check vs paper: packet-group per-title 92.7–98.0% (overall >95%),\nflow-volumetric 80.5–91.5% — the grouping should win by ~10 points."
+    );
+
+    let out = Output {
+        rows,
+        overall_packet_group: group.accuracy,
+        overall_flow_volumetric: vol.accuracy,
+    };
+    if let Ok(p) = write_json("table3", &out) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 4 — player activity stage classification accuracy (per slot) and
+//! gameplay activity pattern inference accuracy (per session), split by
+//! activity pattern, under the deployed parameters (`I = 1 s`, `α = 0.5`,
+//! confidence threshold 75 %).
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_table4
+//! ```
+
+use cgc_bench::cached_bundle;
+use cgc_core::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer};
+use cgc_deploy::report::{pct, table, write_json};
+use cgc_domain::{ActivityPattern, GameTitle, Stage};
+use gamesim::dataset::sample_lab_settings;
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    /// Per pattern: session-level pattern inference accuracy.
+    pattern_accuracy: Vec<(String, f64)>,
+    /// Per pattern, per stage: slot-level stage accuracy.
+    stage_accuracy: Vec<(String, String, f64)>,
+}
+
+fn main() {
+    println!("== Table 4: stage (per slot) and pattern (per session) accuracy ==\n");
+    let bundle = cached_bundle();
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mut pattern_accuracy = Vec::new();
+    let mut stage_accuracy = Vec::new();
+
+    for pattern in ActivityPattern::ALL {
+        let titles: Vec<GameTitle> = GameTitle::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.pattern() == pattern)
+            .collect();
+        let n = 40usize;
+        let mut pattern_ok = 0usize;
+        let mut pattern_decided = 0usize;
+        // stage -> (correct, total)
+        let mut per_stage = [(0usize, 0usize); 3];
+
+        for i in 0..n {
+            let s = generator.generate(&SessionConfig {
+                kind: TitleKind::Known(titles[i % titles.len()]),
+                settings: sample_lab_settings(&mut rng),
+                gameplay_secs: 1500.0,
+                fidelity: Fidelity::LaunchOnly,
+                seed: 40_000 + pattern.index() as u64 * 1000 + i as u64,
+            });
+            let mut analyzer =
+                SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+            analyzer.analyze(&s.packets, &s.vol);
+            let report = analyzer.finish();
+
+            // Pattern: use the confident decision, else the final forced
+            // inference.
+            let inferred = report
+                .pattern
+                .map(|d| d.pattern)
+                .or(report.final_pattern.map(|(p, _)| p));
+            if let Some(p) = inferred {
+                pattern_decided += 1;
+                if p == pattern {
+                    pattern_ok += 1;
+                }
+            }
+
+            // Stage: score gameplay slots against truth.
+            for (j, &pred) in report.stage_slots.iter().enumerate() {
+                let midpoint = j as u64 * report.slot_width + report.slot_width / 2;
+                let Some(truth) = s.timeline.stage_at(midpoint) else {
+                    continue;
+                };
+                let Some(k) = truth.class_id() else {
+                    continue; // skip launch
+                };
+                per_stage[k].1 += 1;
+                if pred == truth {
+                    per_stage[k].0 += 1;
+                }
+            }
+        }
+
+        pattern_accuracy.push((
+            pattern.to_string(),
+            pattern_ok as f64 / pattern_decided.max(1) as f64,
+        ));
+        for stage in Stage::GAMEPLAY {
+            let (c, t) = per_stage[stage.class_id().unwrap()];
+            stage_accuracy.push((
+                pattern.to_string(),
+                stage.to_string(),
+                c as f64 / t.max(1) as f64,
+            ));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (p, acc) in &pattern_accuracy {
+        rows.push(vec![p.clone(), pct(*acc), String::new(), String::new()]);
+        for (pp, st, sa) in &stage_accuracy {
+            if pp == p {
+                rows.push(vec![String::new(), String::new(), st.clone(), pct(*sa)]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "Gameplay actv. pattern",
+                "Accur.",
+                "Player actv. stage",
+                "Accur."
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nShape check vs paper (Table 4): pattern accuracy ~95-97%; stage\naccuracy ~92-98% with idle the easiest class."
+    );
+
+    let out = Output {
+        pattern_accuracy,
+        stage_accuracy,
+    };
+    if let Ok(p) = write_json("table4", &out) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 5 (Appendix C.2) — permutation importance of the nine stage
+//! transition attributes in the best-performing pattern Random Forest.
+//! The paper finds active→idle the most important transition (0.167),
+//! followed by passive→idle (0.094).
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin exp_table5
+//! ```
+
+use cgc_core::pattern::{PatternInferrer, PatternInferrerConfig};
+use cgc_deploy::report::{f, table, write_json};
+use cgc_deploy::train::{pattern_dataset, TrainConfig};
+use cgc_features::transitions::TransitionAccumulator;
+use mlcore::permutation_importance;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    /// Importance per transition, row-major idle/passive/active.
+    matrix: [[f64; 3]; 3],
+    names: Vec<String>,
+    importance: Vec<f64>,
+}
+
+fn main() {
+    println!("== Table 5: importance of the nine transition attributes ==\n");
+    let data = pattern_dataset(&TrainConfig {
+        pattern_sessions: 60,
+        ..Default::default()
+    });
+    let (train, test) = data.stratified_split(0.3, 5);
+    let inferrer = PatternInferrer::train(&train, PatternInferrerConfig::default());
+    let imp = permutation_importance(inferrer.forest(), &test, 8, 55);
+
+    let names: Vec<String> = TransitionAccumulator::feature_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut matrix = [[0.0f64; 3]; 3];
+    for (k, &v) in imp.iter().enumerate() {
+        matrix[k / 3][k % 3] = v;
+    }
+
+    let stages = ["idle", "passive", "active"];
+    // Paper table orientation: rows = To, cols = From.
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|to| {
+            let mut row = vec![stages[to].to_string()];
+            row.extend((0..3).map(|from| f(matrix[from][to], 3)));
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["To\\From", "Active", "Passive", "Idle"], &{
+            // Re-order columns to match the paper: Active, Passive, Idle.
+            rows.iter()
+                .map(|r| vec![r[0].clone(), r[3].clone(), r[2].clone(), r[1].clone()])
+                .collect::<Vec<_>>()
+        })
+    );
+
+    let mut ranked: Vec<(String, f64)> = names.iter().cloned().zip(imp.iter().copied()).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("Ranked:");
+    for (n, v) in &ranked {
+        println!("  {n:<18} {}", f(*v, 4));
+    }
+    println!(
+        "\nShape check vs paper: active->idle carries the highest importance\n(the transition continuous-play sessions make constantly and\nspectate-and-play sessions make rarely); ours ranks it {}.",
+        ranked
+            .iter()
+            .position(|(n, _)| n == "active->idle")
+            .map(|i| format!("#{}", i + 1))
+            .unwrap_or_else(|| "?".into())
+    );
+
+    let out = Output {
+        matrix,
+        names,
+        importance: imp,
+    };
+    if let Ok(p) = write_json("table5", &out) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,63 @@
+//! Diagnostic probe (not part of run_all): where do pattern decisions fire
+//! and how accurate are latched vs end-of-session inferences?
+
+use cgc_bench::cached_bundle;
+use cgc_core::pattern::PatternTracker;
+use cgc_deploy::train::classified_stage_sequence;
+use cgc_domain::{ActivityPattern, GameTitle};
+use gamesim::dataset::sample_lab_settings;
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bundle = cached_bundle();
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    for pattern in ActivityPattern::ALL {
+        let titles: Vec<GameTitle> = GameTitle::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.pattern() == pattern)
+            .collect();
+        let mut latched_ok = 0;
+        let mut latched = 0;
+        let mut final_ok = 0;
+        let mut n = 0;
+        let mut decide_slots = Vec::new();
+        for i in 0..40usize {
+            let s = generator.generate(&SessionConfig {
+                kind: TitleKind::Known(titles[i % titles.len()]),
+                settings: sample_lab_settings(&mut rng),
+                gameplay_secs: 1500.0,
+                fidelity: Fidelity::LaunchOnly,
+                seed: 40_000 + pattern.index() as u64 * 1000 + i as u64,
+            });
+            let seq = classified_stage_sequence(&bundle.stage, &s);
+            let mut tracker = PatternTracker::new();
+            for &st in &seq {
+                tracker.push(st, &bundle.pattern);
+            }
+            n += 1;
+            if let Some(d) = tracker.decision() {
+                latched += 1;
+                decide_slots.push(d.decided_after_slots);
+                if d.pattern == pattern {
+                    latched_ok += 1;
+                }
+            }
+            if let Some((p, _)) = tracker.force_infer(&bundle.pattern) {
+                if p == pattern {
+                    final_ok += 1;
+                }
+            }
+        }
+        decide_slots.sort_unstable();
+        println!(
+            "{pattern}: latched {latched}/{n} (acc {:.0}%), final acc {:.0}%, decision slots median {:?}",
+            100.0 * latched_ok as f64 / latched.max(1) as f64,
+            100.0 * final_ok as f64 / n as f64,
+            decide_slots.get(decide_slots.len() / 2)
+        );
+    }
+}

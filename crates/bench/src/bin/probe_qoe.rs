@@ -1,0 +1,86 @@
+//! Diagnostic probe: per-slot stage/QoE breakdown for a healthy low-demand
+//! session (not part of run_all).
+
+use cgc_core::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer};
+use cgc_deploy::aggregate::calibrate;
+use cgc_deploy::train::{train_bundle, TrainConfig};
+use cgc_deploy::{run_fleet, FleetConfig};
+use cgc_domain::{GameTitle, Resolution, Stage, StreamSettings};
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+
+fn main() {
+    let mut bundle = train_bundle(&TrainConfig::quick());
+    let calib = run_fleet(
+        &bundle,
+        &FleetConfig {
+            n_sessions: 80,
+            duration_scale: 0.06,
+            uniform_titles: true,
+            ..Default::default()
+        },
+    );
+    bundle.calibration = calibrate(&calib);
+    println!("calibration table: {:?}", bundle.calibration.title_mbps);
+    // Truth-keyed normalized peaks for comparison.
+    for t in [GameTitle::Hearthstone, GameTitle::Fortnite] {
+        let mut vals: Vec<(u64, f64, bool)> = calib
+            .iter()
+            .filter(|r| r.truth_kind.known() == Some(t))
+            .map(|r| {
+                (
+                    r.id,
+                    r.peak_down_mbps / r.settings.bitrate_factor(),
+                    r.title_correct(),
+                )
+            })
+            .collect();
+        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!("truth {t}: {vals:?}");
+    }
+    println!("default: {}", bundle.calibration.default_mbps);
+
+    let settings = StreamSettings {
+        resolution: Resolution::Hd,
+        fps: 30,
+        ..StreamSettings::default_pc()
+    };
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(GameTitle::Hearthstone),
+        settings,
+        gameplay_secs: 300.0,
+        fidelity: Fidelity::LaunchOnly,
+        seed: 1,
+    });
+    let qoe = QoeInputs {
+        nominal_fps: 30.0,
+        latency_ms: 12.0,
+        loss_rate: 0.0005,
+        settings_factor: settings.bitrate_factor(),
+        delivered_fps_ratio: 1.0,
+    };
+    let mut analyzer = SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), qoe);
+    analyzer.analyze(&session.packets, &session.vol);
+    let report = analyzer.finish();
+    println!("title pred: {:?}", report.title);
+    println!(
+        "pattern: {:?} final {:?}",
+        report.pattern, report.final_pattern
+    );
+
+    let mut hist = std::collections::BTreeMap::new();
+    for (i, (&stage, &(obj, eff))) in report.stage_slots.iter().zip(&report.qoe_slots).enumerate() {
+        let truth = session
+            .timeline
+            .stage_at(i as u64 * report.slot_width + report.slot_width / 2)
+            .unwrap_or(Stage::Idle);
+        *hist.entry((truth, stage, obj, eff)).or_insert(0usize) += 1;
+    }
+    for ((truth, stage, obj, eff), n) in hist {
+        println!("truth {truth:<8} pred {stage:<8} obj {obj:<7} eff {eff:<7} x{n}");
+    }
+    println!(
+        "session: obj {} eff {}",
+        report.objective_qoe, report.effective_qoe
+    );
+}

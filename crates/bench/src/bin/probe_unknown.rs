@@ -1,0 +1,56 @@
+//! Diagnostic probe: title-classifier confidence on catalog vs unknown
+//! launches (tunes the unknown gate).
+
+use cgc_bench::cached_bundle;
+use cgc_domain::ActivityPattern;
+use gamesim::dataset::sample_lab_settings;
+use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bundle = cached_bundle();
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut catalog_conf = Vec::new();
+    let mut unknown_conf = Vec::new();
+    for i in 0..120usize {
+        let kind = if i % 2 == 0 {
+            TitleKind::Known(cgc_domain::GameTitle::ALL[i / 2 % 13])
+        } else {
+            TitleKind::Other {
+                pattern: if i % 4 == 1 {
+                    ActivityPattern::SpectateAndPlay
+                } else {
+                    ActivityPattern::ContinuousPlay
+                },
+                variant: (i % 16) as u32,
+            }
+        };
+        let s = generator.generate(&SessionConfig {
+            kind,
+            settings: sample_lab_settings(&mut rng),
+            gameplay_secs: 2.0,
+            fidelity: Fidelity::LaunchOnly,
+            seed: 500_000 + i as u64,
+        });
+        let pred = bundle.title.classify(&s.launch_window(5.0));
+        match kind {
+            TitleKind::Known(_) => catalog_conf.push(pred.confidence),
+            TitleKind::Other { .. } => unknown_conf.push(pred.confidence),
+        }
+    }
+    let summary = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        format!(
+            "min {:.2} p10 {:.2} p50 {:.2} p90 {:.2} max {:.2}",
+            v[0],
+            v[v.len() / 10],
+            v[v.len() / 2],
+            v[v.len() * 9 / 10],
+            v[v.len() - 1]
+        )
+    };
+    println!("catalog confidence: {}", summary(catalog_conf));
+    println!("unknown confidence: {}", summary(unknown_conf));
+}

@@ -1,0 +1,72 @@
+//! Runs every experiment binary in DESIGN.md order, streaming their output
+//! and summarizing pass/fail at the end.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin run_all
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_fig1",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig8",
+    "exp_table3",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_conf_thresh",
+    "exp_table4",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_fig13",
+    "exp_field_validation",
+    "exp_diurnal",
+    "exp_fig14",
+    "exp_fig15",
+    "exp_table5",
+    "exp_platforms",
+    "exp_ablations",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir").to_path_buf();
+
+    let mut failures = Vec::new();
+    let total_start = Instant::now();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        println!("\n================ {name} ================");
+        let start = Instant::now();
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {
+                println!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Ok(status) => {
+                println!("[{name}] FAILED with {status}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                println!("[{name}] could not start: {e} (build with --release first)");
+                failures.push(*name);
+            }
+        }
+    }
+
+    println!(
+        "\n==== run_all finished in {:.1}s: {}/{} experiments OK ====",
+        total_start.elapsed().as_secs_f64(),
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if !failures.is_empty() {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Trained model bundles.
+//!
+//! Everything the real-time pipeline needs at inference time, packaged for
+//! serialization: the three classifiers, the feature/slot configuration
+//! they were trained with, the objective QoE thresholds and the learned
+//! demand calibration table. Deployments train once (see
+//! `cgc-deploy::train`), persist the bundle as JSON, and load it at the
+//! tap.
+
+use nettrace::units::{Micros, MICROS_PER_SEC};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+use cgc_features::vol_attrs::StageFeatureConfig;
+
+use crate::pattern::PatternInferrer;
+use crate::qoe::{CalibrationTable, ObjectiveThresholds};
+use crate::stage::StageClassifier;
+use crate::title::TitleClassifier;
+
+/// A complete trained pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Game title classifier (launch window).
+    pub title: TitleClassifier,
+    /// Player activity stage classifier (per slot).
+    pub stage: StageClassifier,
+    /// Gameplay activity pattern inferrer (transition features).
+    pub pattern: PatternInferrer,
+    /// Stage feature extraction configuration (α, peak seeding).
+    pub stage_feature: StageFeatureConfig,
+    /// Stage classification slot width `I`, microseconds.
+    pub stage_slot: Micros,
+    /// Objective QoE expected ranges.
+    pub thresholds: ObjectiveThresholds,
+    /// Learned context demand table for effective QoE.
+    pub calibration: CalibrationTable,
+}
+
+impl ModelBundle {
+    /// The deployed stage slot width: `I = 1 s`.
+    pub const DEFAULT_STAGE_SLOT: Micros = MICROS_PER_SEC;
+
+    /// Serializes the bundle to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a bundle from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<ModelBundle> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a bundle from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ModelBundle> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(io::Error::other)
+    }
+}

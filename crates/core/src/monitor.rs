@@ -1,0 +1,346 @@
+//! Tap-level monitoring of many concurrent sessions.
+//!
+//! The pipeline of Fig. 6 does not see one flow at a time — it sits on an
+//! ISP link where packets of many subscribers' sessions interleave.
+//! [`TapMonitor`] is that front end: it keys flows by normalized
+//! five-tuple, uses the platform port signatures to orient each flow
+//! (server side ⇒ downstream) and to reject non-gaming traffic, rebases
+//! timestamps to each flow's start, and drives one [`SessionAnalyzer`] per
+//! accepted flow. Flows idle past a timeout are finalized and their
+//! [`SessionReport`]s emitted — exactly how an operator turns a raw packet
+//! feed into per-session context records.
+
+use std::collections::HashMap;
+
+use nettrace::flow::FlowStats;
+use nettrace::packet::{Direction, FiveTuple, Packet};
+use nettrace::pcap::PcapRecord;
+use nettrace::units::Micros;
+
+use crate::bundle::ModelBundle;
+use crate::filter::{CloudGamingFilter, FilterConfig, Platform};
+use crate::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
+
+/// Tap monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Per-flow analyzer configuration.
+    pub analyzer: AnalyzerConfig,
+    /// Flow filter thresholds.
+    pub filter: FilterConfig,
+    /// A flow idle for this long is finalized (microseconds).
+    pub idle_timeout: Micros,
+    /// Default QoS context for QoE labeling (override per flow with
+    /// [`TapMonitor::set_qoe`]).
+    pub qoe: QoeInputs,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            analyzer: AnalyzerConfig::default(),
+            filter: FilterConfig::default(),
+            idle_timeout: 60_000_000, // 60 s
+            qoe: QoeInputs::default(),
+        }
+    }
+}
+
+/// A finalized session observed at the tap.
+#[derive(Debug, Clone)]
+pub struct MonitoredSession {
+    /// The session five-tuple in downstream orientation.
+    pub tuple: FiveTuple,
+    /// Detected platform.
+    pub platform: Platform,
+    /// Tap timestamp of the flow's first packet.
+    pub started_at: Micros,
+    /// Tap timestamp of the flow's last packet.
+    pub last_seen: Micros,
+    /// Whether the volumetric confirmation ever passed (flows that never
+    /// looked like streaming still get a report, flagged here).
+    pub confirmed: bool,
+    /// The pipeline's report.
+    pub report: SessionReport,
+}
+
+struct FlowEntry<'b> {
+    analyzer: SessionAnalyzer<'b>,
+    down_tuple: FiveTuple,
+    platform: Platform,
+    started_at: Micros,
+    last_seen: Micros,
+    stats: FlowStats,
+}
+
+/// Multiplexing front end driving one analyzer per detected gaming flow.
+pub struct TapMonitor<'b> {
+    bundle: &'b ModelBundle,
+    config: MonitorConfig,
+    filter: CloudGamingFilter,
+    flows: HashMap<FiveTuple, FlowEntry<'b>>,
+    ignored_packets: u64,
+}
+
+impl<'b> TapMonitor<'b> {
+    /// A monitor over a trained bundle.
+    pub fn new(bundle: &'b ModelBundle, config: MonitorConfig) -> Self {
+        TapMonitor {
+            bundle,
+            config,
+            filter: CloudGamingFilter::new(config.filter),
+            flows: HashMap::new(),
+            ignored_packets: 0,
+        }
+    }
+
+    /// Ingests one observed datagram: tap timestamp, wire five-tuple (src =
+    /// sender) and RTP payload length. Packets of flows without a platform
+    /// port signature are counted and dropped.
+    pub fn ingest(&mut self, ts: Micros, wire_tuple: &FiveTuple, payload_len: u32) {
+        // Orient the conversation: the platform-signature port is the server.
+        let (down_tuple, platform, dir) = if let Some(p) = Platform::from_port(wire_tuple.src_port)
+        {
+            (*wire_tuple, p, Direction::Downstream)
+        } else if let Some(p) = Platform::from_port(wire_tuple.dst_port) {
+            (wire_tuple.reversed(), p, Direction::Upstream)
+        } else {
+            self.ignored_packets += 1;
+            return;
+        };
+        if self.filter.pre_check(&down_tuple).is_none() {
+            self.ignored_packets += 1;
+            return;
+        }
+
+        let key = down_tuple.normalized();
+        let config = &self.config;
+        let bundle = self.bundle;
+        let entry = self.flows.entry(key).or_insert_with(|| FlowEntry {
+            analyzer: SessionAnalyzer::new(bundle, config.analyzer, config.qoe),
+            down_tuple,
+            platform,
+            started_at: ts,
+            last_seen: ts,
+            stats: FlowStats::default(),
+        });
+        entry.last_seen = ts;
+        // Rebase to flow-relative time for the analyzer.
+        let mut pkt = Packet::new(ts.saturating_sub(entry.started_at), dir, payload_len);
+        pkt.marker = false;
+        entry.stats.update(&pkt);
+        entry.analyzer.push_packet(&pkt);
+    }
+
+    /// Ingests a decoded capture record (the pcap reader's output).
+    pub fn ingest_record(&mut self, record: &PcapRecord) {
+        self.ingest(record.ts, &record.tuple, record.payload_len);
+    }
+
+    /// Overrides the QoS context of one flow (e.g. when the gray-box QoE
+    /// estimators have produced latency/loss measurements for it). Applies
+    /// to QoE labels of slots closed after the call.
+    pub fn set_qoe(&mut self, tuple: &FiveTuple, qoe: QoeInputs) {
+        if let Some(e) = self.flows.get_mut(&tuple.normalized()) {
+            e.analyzer.set_qoe(qoe);
+        }
+    }
+
+    /// Number of flows currently tracked.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Packets dropped for lacking a platform signature.
+    pub fn ignored_packets(&self) -> u64 {
+        self.ignored_packets
+    }
+
+    /// Finalizes flows idle since before `now - idle_timeout`, returning
+    /// their reports.
+    pub fn finish_idle(&mut self, now: Micros) -> Vec<MonitoredSession> {
+        let cutoff = now.saturating_sub(self.config.idle_timeout);
+        let expired: Vec<FiveTuple> = self
+            .flows
+            .iter()
+            .filter(|(_, e)| e.last_seen < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        expired
+            .into_iter()
+            .map(|k| {
+                let entry = self.flows.remove(&k).expect("key present");
+                self.finalize(entry)
+            })
+            .collect()
+    }
+
+    /// Finalizes every remaining flow (end of capture).
+    pub fn finish_all(mut self) -> Vec<MonitoredSession> {
+        let keys: Vec<FiveTuple> = self.flows.keys().copied().collect();
+        keys.into_iter()
+            .map(|k| {
+                let entry = self.flows.remove(&k).expect("key present");
+                self.finalize(entry)
+            })
+            .collect()
+    }
+
+    fn finalize(&self, entry: FlowEntry<'b>) -> MonitoredSession {
+        let confirmed = self.filter.confirm(&entry.stats);
+        MonitoredSession {
+            tuple: entry.down_tuple,
+            platform: entry.platform,
+            started_at: entry.started_at,
+            last_seen: entry.last_seen,
+            confirmed,
+            report: entry.analyzer.finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_domain::{GameTitle, StreamSettings};
+    use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
+
+    fn bundle() -> ModelBundle {
+        crate::pipeline::tests::tiny_bundle_for_streaming()
+    }
+
+    fn session(seed: u64, title: GameTitle) -> Session {
+        let mut generator = SessionGenerator::new();
+        generator.generate(&SessionConfig {
+            kind: TitleKind::Known(title),
+            settings: StreamSettings::default_pc(),
+            gameplay_secs: 60.0,
+            fidelity: Fidelity::FullPackets,
+            seed,
+        })
+    }
+
+    /// Wire-orients a session packet: upstream packets appear with the
+    /// reversed tuple.
+    fn wire(s: &Session, p: &Packet) -> FiveTuple {
+        match p.dir {
+            Direction::Downstream => s.tuple,
+            Direction::Upstream => s.tuple.reversed(),
+        }
+    }
+
+    #[test]
+    fn demultiplexes_interleaved_sessions() {
+        let b = bundle();
+        let s1 = session(1, GameTitle::Fortnite);
+        let s2 = session(2, GameTitle::GenshinImpact);
+
+        // Interleave the two sessions on one tap, s2 starting 7 s later.
+        let mut feed: Vec<(Micros, FiveTuple, u32)> = Vec::new();
+        for p in &s1.packets {
+            feed.push((p.ts, wire(&s1, p), p.payload_len));
+        }
+        for p in &s2.packets {
+            feed.push((p.ts + 7_000_000, wire(&s2, p), p.payload_len));
+        }
+        feed.sort_by_key(|(ts, _, _)| *ts);
+
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        for (ts, tuple, len) in &feed {
+            monitor.ingest(*ts, tuple, *len);
+        }
+        assert_eq!(monitor.active_flows(), 2);
+        let mut out = monitor.finish_all();
+        out.sort_by_key(|m| m.started_at);
+        assert_eq!(out.len(), 2);
+
+        // Each flow got the same title call it would get alone.
+        let solo = |s: &Session| b.title.classify(&s.launch_window(5.0)).title;
+        assert_eq!(out[0].report.title.title, solo(&s1));
+        assert_eq!(out[1].report.title.title, solo(&s2));
+        assert!(out.iter().all(|m| m.confirmed));
+        assert!(out.iter().all(|m| m.platform == Platform::GeForceNow));
+        assert_eq!(monitor_ignored(&feed), 0);
+    }
+
+    fn monitor_ignored(_: &[(Micros, FiveTuple, u32)]) -> u64 {
+        0
+    }
+
+    #[test]
+    fn non_gaming_traffic_is_ignored() {
+        let b = bundle();
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        let web = FiveTuple::udp_v4([1, 1, 1, 1], 443, [10, 0, 0, 2], 55_000);
+        for i in 0..100u64 {
+            monitor.ingest(i * 1000, &web, 1200);
+        }
+        assert_eq!(monitor.active_flows(), 0);
+        assert_eq!(monitor.ignored_packets(), 100);
+    }
+
+    #[test]
+    fn idle_flows_are_finalized() {
+        let b = bundle();
+        let s = session(3, GameTitle::CsGo);
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        for p in &s.packets {
+            monitor.ingest(p.ts, &wire(&s, p), p.payload_len);
+        }
+        let last = s.packets.last().unwrap().ts;
+        // Not yet idle long enough.
+        assert!(monitor.finish_idle(last + 10_000_000).is_empty());
+        assert_eq!(monitor.active_flows(), 1);
+        // Past the 60 s timeout.
+        let out = monitor.finish_idle(last + 61_000_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(monitor.active_flows(), 0);
+        assert!(out[0].confirmed);
+    }
+
+    #[test]
+    fn late_flow_start_rebases_timestamps() {
+        let b = bundle();
+        let s = session(4, GameTitle::Dota2);
+        let offset = 3_600_000_000u64; // flow starts an hour into the tap
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        for p in &s.packets {
+            monitor.ingest(p.ts + offset, &wire(&s, p), p.payload_len);
+        }
+        let out = monitor.finish_all();
+        assert_eq!(out.len(), 1);
+        // started_at is the first *observed* packet (launch phase shift
+        // means it is not exactly at the session origin).
+        assert!(out[0].started_at >= offset && out[0].started_at < offset + 4_000_000);
+        // Slots counted from flow start, not tap start.
+        let expected = (s.duration() / out[0].report.slot_width) as usize;
+        assert!(out[0].report.stage_slots.len() <= expected + 2);
+        assert!(out[0].report.stage_slots.len() + 5 >= expected);
+    }
+
+    #[test]
+    fn set_qoe_overrides_labels() {
+        let b = bundle();
+        let s = session(5, GameTitle::R6Siege);
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        // Feed the first half, then report degraded QoS, then the rest.
+        let mid = s.packets.len() / 2;
+        for p in &s.packets[..mid] {
+            monitor.ingest(p.ts, &wire(&s, p), p.payload_len);
+        }
+        monitor.set_qoe(
+            &s.tuple,
+            QoeInputs {
+                latency_ms: 150.0,
+                loss_rate: 0.05,
+                ..QoeInputs::default()
+            },
+        );
+        for p in &s.packets[mid..] {
+            monitor.ingest(p.ts, &wire(&s, p), p.payload_len);
+        }
+        let out = monitor.finish_all();
+        // Later slots carry bad labels, so the session skews bad.
+        assert_eq!(out[0].report.objective_qoe, cgc_domain::QoeLevel::Bad);
+    }
+}

@@ -1,0 +1,395 @@
+//! Deployment-scale fleet simulation (§5).
+//!
+//! Drives a popularity-weighted stream of synthetic sessions through the
+//! real-time pipeline and records ground truth next to classifier output —
+//! the analogue of operating the system in the partner ISP for three
+//! months and joining against the cloud server logs afterwards.
+//!
+//! Sessions mix catalog titles (Table 1 popularity), a long tail of
+//! unknown titles, the Table 2 settings matrix, per-title duration models,
+//! and a slice of network-impaired subscribers whose streams are rate
+//! capped, lossy and delayed.
+
+use cgc_core::bundle::ModelBundle;
+use cgc_core::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
+use cgc_domain::{ActivityPattern, Stage, StreamSettings};
+use cgc_features::vol_attrs::raw_features;
+use gamesim::dataset::sample_lab_settings;
+use gamesim::profile::TitleProfile;
+use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
+use nettrace::impair::{Impairment, ImpairmentConfig};
+use nettrace::units::MICROS_PER_SEC;
+use nettrace::vol::VolSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cgc_domain::catalog::CATALOG;
+
+/// Fleet simulation configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of sessions to simulate.
+    pub n_sessions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Scale on per-title session durations (1.0 = paper-scale sessions of
+    /// 28–95 minutes; experiments default lower to bound compute).
+    pub duration_scale: f64,
+    /// Fraction of sessions playing non-catalog titles.
+    pub unknown_fraction: f64,
+    /// Number of distinct unknown-title variants.
+    pub unknown_variants: u32,
+    /// Fraction of sessions behind degraded network paths.
+    pub impaired_fraction: f64,
+    /// Sample catalog titles uniformly instead of by popularity —
+    /// calibration passes use this so rare titles (Hearthstone is 0.04 %
+    /// of playtime) still get their demand measured.
+    pub uniform_titles: bool,
+    /// Length of the simulated deployment window in days; session arrivals
+    /// spread over it with an evening-peaked diurnal profile.
+    pub deployment_days: u32,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_sessions: 600,
+            seed: 20241201, // deployment start: 1 Dec 2024
+            duration_scale: 0.15,
+            unknown_fraction: 0.25,
+            unknown_variants: 8,
+            impaired_fraction: 0.08,
+            uniform_titles: false,
+            deployment_days: 90, // 1 Dec 2024 – 1 Mar 2025
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Ground truth + pipeline output for one fleet session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Global session index.
+    pub id: u64,
+    /// What was actually played ("server log" ground truth).
+    pub truth_kind: TitleKind,
+    /// Ground-truth activity pattern.
+    pub truth_pattern: ActivityPattern,
+    /// Stream settings of the session.
+    pub settings: StreamSettings,
+    /// Ground-truth seconds per stage `[launch, idle, passive, active]`.
+    pub truth_stage_secs: [f64; 4],
+    /// Ground-truth mean downstream throughput, Mbps.
+    pub truth_mean_down_mbps: f64,
+    /// 95th-percentile 1 s-slot downstream throughput, Mbps (demand proxy).
+    pub peak_down_mbps: f64,
+    /// Whether the session ran behind a degraded network path.
+    pub impaired: bool,
+    /// Session arrival time within the simulated deployment window,
+    /// microseconds since deployment start (diurnal, evening-peaked).
+    pub arrival: u64,
+    /// The pipeline's report.
+    pub report: SessionReport,
+}
+
+impl SessionRecord {
+    /// True when the classified title matches the ground truth catalog
+    /// title (unknown-vs-unknown also counts as correct).
+    pub fn title_correct(&self) -> bool {
+        self.report.title.title == self.truth_kind.known()
+    }
+}
+
+fn sample_kind(rng: &mut StdRng, cfg: &FleetConfig) -> TitleKind {
+    if rng.gen_bool(cfg.unknown_fraction) {
+        let variant = rng.gen_range(0..cfg.unknown_variants.max(1));
+        let pattern = if rng.gen_bool(0.6) {
+            ActivityPattern::SpectateAndPlay
+        } else {
+            ActivityPattern::ContinuousPlay
+        };
+        return TitleKind::Other { pattern, variant };
+    }
+    if cfg.uniform_titles {
+        return TitleKind::Known(CATALOG[rng.gen_range(0..CATALOG.len())].title);
+    }
+    // 10 % uniform mixing floor: a three-month deployment sees hundreds of
+    // sessions even of 0.04 %-popularity titles; a scaled-down fleet would
+    // otherwise never sample them.
+    if rng.gen_bool(0.10) {
+        return TitleKind::Known(CATALOG[rng.gen_range(0..CATALOG.len())].title);
+    }
+    let total: f64 = CATALOG.iter().map(|e| e.popularity).sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for e in &CATALOG {
+        if pick < e.popularity {
+            return TitleKind::Known(e.title);
+        }
+        pick -= e.popularity;
+    }
+    TitleKind::Known(CATALOG[0].title)
+}
+
+/// Relative session-arrival weight per hour of day: cloud gaming peaks in
+/// the evening (the "peak hours" §5.2 worries about) and bottoms out
+/// overnight.
+const DIURNAL_WEIGHTS: [f64; 24] = [
+    3.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 3.0, // 00-07
+    4.0, 5.0, 5.0, 6.0, 7.0, 7.0, 8.0, 9.0, // 08-15
+    10.0, 12.0, 14.0, 16.0, 15.0, 12.0, 8.0, 5.0, // 16-23
+];
+
+/// Samples an arrival time within the deployment window.
+fn sample_arrival(days: u32, rng: &mut StdRng) -> u64 {
+    let day = rng.gen_range(0..days.max(1)) as u64;
+    let total: f64 = DIURNAL_WEIGHTS.iter().sum();
+    let mut pick = rng.gen_range(0.0..total);
+    let mut hour = 23usize;
+    for (h, &w) in DIURNAL_WEIGHTS.iter().enumerate() {
+        if pick < w {
+            hour = h;
+            break;
+        }
+        pick -= w;
+    }
+    let within_hour = rng.gen_range(0..3_600_000_000u64);
+    day * 86_400_000_000 + hour as u64 * 3_600_000_000 + within_hour
+}
+
+fn sample_duration_secs(kind: &TitleKind, scale: f64, rng: &mut StdRng) -> f64 {
+    let p = TitleProfile::of_kind(kind);
+    let mins = (p.session_minutes_mean + rng.gen_range(-1.0..1.0) * p.session_minutes_std)
+        .clamp(p.session_minutes_mean * 0.3, p.session_minutes_mean * 2.5);
+    (mins * 60.0 * scale).max(120.0)
+}
+
+/// Degrades a fleet session in place: launch packets through the
+/// impairment channel, the volumetric series through a rate cap and loss
+/// thinning, and returns the QoS context the observability module would
+/// measure.
+fn impair_session(s: &mut Session, rng: &mut StdRng) -> QoeInputs {
+    let seed = rng.gen();
+    let mut channel = Impairment::new(ImpairmentConfig::poor_network(seed));
+    s.packets = channel.apply_all(&s.packets);
+
+    // Rate cap & loss on the volumetric series (~4.8 Mbps ceiling).
+    let cap_bytes_per_slot = (600_000.0 * (s.vol.width as f64 / 1e6)) as u64;
+    let loss: f64 = rng.gen_range(0.02..0.06);
+    for sample in &mut s.vol.samples {
+        sample.down_bytes = sample.down_bytes.min(cap_bytes_per_slot);
+        sample.down_pkts = ((sample.down_pkts as f64) * (1.0 - loss)) as u64;
+    }
+    QoeInputs {
+        nominal_fps: s.settings.fps as f64,
+        latency_ms: rng.gen_range(75.0..130.0),
+        loss_rate: loss,
+        settings_factor: s.settings.bitrate_factor(),
+        // Heavy loss halves delivered frames.
+        delivered_fps_ratio: rng.gen_range(0.35..0.55),
+    }
+}
+
+fn run_one(
+    bundle: &ModelBundle,
+    cfg: &FleetConfig,
+    generator: &mut SessionGenerator,
+    id: u64,
+) -> SessionRecord {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id));
+    let kind = sample_kind(&mut rng, cfg);
+    let settings = sample_lab_settings(&mut rng);
+    let gameplay_secs = sample_duration_secs(&kind, cfg.duration_scale, &mut rng);
+    let mut session = generator.generate(&SessionConfig {
+        kind,
+        settings,
+        gameplay_secs,
+        fidelity: Fidelity::LaunchOnly,
+        seed: cfg.seed.wrapping_add(id.wrapping_mul(0x51ed_270b)),
+    });
+
+    let impaired = rng.gen_bool(cfg.impaired_fraction);
+    let qoe = if impaired {
+        impair_session(&mut session, &mut rng)
+    } else {
+        QoeInputs {
+            nominal_fps: settings.fps as f64,
+            latency_ms: rng.gen_range(8.0..25.0),
+            loss_rate: rng.gen_range(0.0..0.002),
+            settings_factor: settings.bitrate_factor(),
+            delivered_fps_ratio: 1.0,
+        }
+    };
+
+    // Ground truth aggregates.
+    let truth_stage_secs: [f64; 4] = [Stage::Launch, Stage::Idle, Stage::Passive, Stage::Active]
+        .map(|st| {
+            session
+                .timeline
+                .spans
+                .iter()
+                .filter(|sp| sp.stage == st)
+                .map(|sp| sp.duration() as f64 / 1e6)
+                .sum()
+        });
+    let vol_1s: VolSeries = session.vol_at(MICROS_PER_SEC);
+    let truth_mean_down_mbps = vol_1s.mean_down_mbps();
+    // Demand proxy over *gameplay* slots only: low-demand titles stream
+    // their launch animation above their gameplay peak, which would
+    // otherwise inflate the learned expectation.
+    let launch_slots = truth_stage_secs[0].ceil() as usize;
+    let mut slot_mbps: Vec<f64> = (launch_slots..vol_1s.len())
+        .map(|i| raw_features(&vol_1s.samples[i], 1.0)[0])
+        .collect();
+    slot_mbps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let peak_down_mbps = nettrace::stats::percentile_sorted(&slot_mbps, 0.95);
+
+    let arrival = sample_arrival(cfg.deployment_days, &mut rng);
+
+    // Run the pipeline.
+    let mut analyzer = SessionAnalyzer::new(bundle, AnalyzerConfig::default(), qoe);
+    analyzer.analyze(&session.packets, &session.vol);
+    let report = analyzer.finish();
+
+    SessionRecord {
+        id,
+        truth_kind: kind,
+        truth_pattern: kind.pattern(),
+        settings,
+        truth_stage_secs,
+        truth_mean_down_mbps,
+        peak_down_mbps,
+        impaired,
+        arrival,
+        report,
+    }
+}
+
+/// Runs the fleet in parallel, returning records ordered by session id.
+pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> {
+    let workers = cfg.workers.max(1).min(cfg.n_sessions.max(1));
+    let mut records: Vec<Option<SessionRecord>> = vec![None; cfg.n_sessions];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = parking_lot::Mutex::new(&mut records);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut generator = SessionGenerator::new();
+                loop {
+                    let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if id >= cfg.n_sessions {
+                        break;
+                    }
+                    let record = run_one(bundle, cfg, &mut generator, id as u64);
+                    slots.lock()[id] = Some(record);
+                }
+            });
+        }
+    })
+    .expect("fleet worker panicked");
+
+    records
+        .into_iter()
+        .map(|r| r.expect("all sessions completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_bundle, TrainConfig};
+
+    fn quick_fleet(n: usize) -> (ModelBundle, Vec<SessionRecord>) {
+        let bundle = train_bundle(&TrainConfig::quick());
+        let cfg = FleetConfig {
+            n_sessions: n,
+            duration_scale: 0.06,
+            workers: 4,
+            ..Default::default()
+        };
+        let records = run_fleet(&bundle, &cfg);
+        (bundle, records)
+    }
+
+    #[test]
+    fn fleet_produces_ordered_complete_records() {
+        let (_, records) = quick_fleet(24);
+        assert_eq!(records.len(), 24);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(!r.report.stage_slots.is_empty());
+            assert!(r.truth_mean_down_mbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_across_worker_counts() {
+        let bundle = train_bundle(&TrainConfig::quick());
+        let mk = |workers: usize| {
+            run_fleet(
+                &bundle,
+                &FleetConfig {
+                    n_sessions: 10,
+                    duration_scale: 0.05,
+                    workers,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = mk(1);
+        let b = mk(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.truth_kind, y.truth_kind);
+            assert_eq!(x.report.stage_slots, y.report.stage_slots);
+            assert_eq!(x.report.title, y.report.title);
+        }
+    }
+
+    #[test]
+    fn titles_are_mostly_classified_correctly() {
+        let (_, records) = quick_fleet(40);
+        let known: Vec<&SessionRecord> = records
+            .iter()
+            .filter(|r| r.truth_kind.known().is_some() && !r.impaired)
+            .collect();
+        let correct = known.iter().filter(|r| r.title_correct()).count();
+        let acc = correct as f64 / known.len().max(1) as f64;
+        assert!(acc > 0.7, "fleet title accuracy {acc}");
+    }
+
+    #[test]
+    fn impaired_sessions_exist_and_look_degraded() {
+        let bundle = train_bundle(&TrainConfig::quick());
+        let records = run_fleet(
+            &bundle,
+            &FleetConfig {
+                n_sessions: 40,
+                duration_scale: 0.05,
+                impaired_fraction: 0.5,
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        let impaired: Vec<&SessionRecord> = records.iter().filter(|r| r.impaired).collect();
+        assert!(impaired.len() > 5);
+        // Impaired sessions should skew to worse effective QoE than clean.
+        let bad_frac = |rs: &[&SessionRecord]| {
+            rs.iter()
+                .filter(|r| r.report.effective_qoe == cgc_domain::QoeLevel::Bad)
+                .count() as f64
+                / rs.len().max(1) as f64
+        };
+        let clean: Vec<&SessionRecord> = records.iter().filter(|r| !r.impaired).collect();
+        assert!(
+            bad_frac(&impaired) > bad_frac(&clean),
+            "impaired {} vs clean {}",
+            bad_frac(&impaired),
+            bad_frac(&clean)
+        );
+    }
+}

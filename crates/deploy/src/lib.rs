@@ -1,0 +1,32 @@
+//! # cgc-deploy — training and ISP-scale deployment simulation
+//!
+//! The operational half of the reproduction:
+//!
+//! * [`train`] — builds labeled datasets from the `gamesim` traffic
+//!   generator (launch attributes per title, per-slot stage features,
+//!   per-session transition features) and trains a complete
+//!   [`cgc_core::ModelBundle`], including the variation-based augmentation
+//!   of §4.4.
+//! * [`fleet`] — drives hundreds to thousands of synthetic sessions
+//!   (popularity-weighted titles, realistic durations, a long tail of
+//!   unknown titles, a slice of network-impaired subscribers) through the
+//!   real-time pipeline in parallel, producing per-session records that
+//!   pair ground truth with classifier output — the analogue of the
+//!   paper's three-month deployment joined against server logs.
+//! * [`aggregate`] — the §5 analyses over those records: per-title player
+//!   activity profiles (Fig. 11), bandwidth demand distributions
+//!   (Fig. 12), objective vs effective QoE corrections (Fig. 13), field
+//!   validation of title classification, and the measurement-driven
+//!   calibration table.
+//! * [`report`] — text-table and JSON rendering shared by the experiment
+//!   binaries.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod fleet;
+pub mod report;
+pub mod train;
+
+pub use fleet::{run_fleet, FleetConfig, SessionRecord};
+pub use train::{train_bundle, TrainConfig};

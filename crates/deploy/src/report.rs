@@ -1,0 +1,115 @@
+//! Text-table and JSON rendering shared by the experiment binaries.
+
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as an aligned text table. `header` and every row must have
+/// the same number of columns.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Writes a serializable result as pretty JSON under `results/<name>.json`
+/// (creating the directory), returning the path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The results directory: `$GAMESCOPE_RESULTS` or `results/` under the
+/// current directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("GAMESCOPE_RESULTS")
+        .map(Into::into)
+        .unwrap_or_else(|| Path::new("results").to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Value column is aligned.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.953), "95.3%");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        std::env::set_var("GAMESCOPE_RESULTS", std::env::temp_dir().join("gs_results"));
+        let path = write_json("unit_test_report", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains('1'));
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("GAMESCOPE_RESULTS");
+    }
+}

@@ -1,0 +1,350 @@
+//! Game title catalog (paper Table 1).
+//!
+//! The thirteen most popular cloud game titles on the studied GeForce NOW
+//! deployment, contributing over 69 % of total playtime, with the genre the
+//! gaming community assigns, the gameplay activity pattern observed in the
+//! paper's study, and popularity as a fraction of total playtime.
+
+use serde::{Deserialize, Serialize};
+
+/// The thirteen popular cloud game titles of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GameTitle {
+    /// Fortnite (shooter, 37.80 % of playtime).
+    Fortnite,
+    /// Genshin Impact (role-playing, 20.10 %).
+    GenshinImpact,
+    /// Baldur's Gate 3 (role-playing, 3.30 %).
+    BaldursGate3,
+    /// Rainbow Six: Siege (shooter, 1.24 %).
+    R6Siege,
+    /// Honkai: Star Rail (role-playing, 1.16 %).
+    HonkaiStarRail,
+    /// Destiny 2 (shooter, 1.15 %).
+    Destiny2,
+    /// Call of Duty (shooter, 0.97 %).
+    CallOfDuty,
+    /// Cyberpunk 2077 (role-playing, 0.84 %).
+    Cyberpunk2077,
+    /// Overwatch 2 (shooter, 0.74 %).
+    Overwatch2,
+    /// Rocket League (sports, 0.64 %).
+    RocketLeague,
+    /// CS:GO / CS2 (shooter, 0.61 %).
+    CsGo,
+    /// Dota 2 (MOBA, 0.55 %).
+    Dota2,
+    /// Hearthstone (card, 0.04 %).
+    Hearthstone,
+}
+
+impl GameTitle {
+    /// All thirteen titles in Table 1 order (by popularity).
+    pub const ALL: [GameTitle; 13] = [
+        GameTitle::Fortnite,
+        GameTitle::GenshinImpact,
+        GameTitle::BaldursGate3,
+        GameTitle::R6Siege,
+        GameTitle::HonkaiStarRail,
+        GameTitle::Destiny2,
+        GameTitle::CallOfDuty,
+        GameTitle::Cyberpunk2077,
+        GameTitle::Overwatch2,
+        GameTitle::RocketLeague,
+        GameTitle::CsGo,
+        GameTitle::Dota2,
+        GameTitle::Hearthstone,
+    ];
+
+    /// Stable index of the title within [`GameTitle::ALL`]; used as the ML
+    /// class id.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|t| *t == self)
+            .expect("title in ALL")
+    }
+
+    /// Title from its stable index.
+    pub fn from_index(i: usize) -> Option<GameTitle> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Human-readable title name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        self.entry().name
+    }
+
+    /// The community-defined genre.
+    pub fn genre(self) -> Genre {
+        self.entry().genre
+    }
+
+    /// The gameplay activity pattern the title's sessions follow.
+    pub fn pattern(self) -> ActivityPattern {
+        self.genre().pattern()
+    }
+
+    /// Fraction of total deployment playtime (Table 1 popularity).
+    pub fn popularity(self) -> f64 {
+        self.entry().popularity
+    }
+
+    /// The full catalog row.
+    pub fn entry(self) -> &'static CatalogEntry {
+        &CATALOG[self.index()]
+    }
+}
+
+impl std::fmt::Display for GameTitle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Game genres as defined by the gaming community (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    /// First/third-person shooters.
+    Shooter,
+    /// Role-playing games.
+    RolePlaying,
+    /// Sports games.
+    Sports,
+    /// Multiplayer online battle arenas.
+    Moba,
+    /// Card games.
+    Card,
+}
+
+impl Genre {
+    /// All five genres.
+    pub const ALL: [Genre; 5] = [
+        Genre::Shooter,
+        Genre::RolePlaying,
+        Genre::Sports,
+        Genre::Moba,
+        Genre::Card,
+    ];
+
+    /// The gameplay activity pattern a genre's sessions follow (§2.2: all
+    /// shooter, sports, MOBA and card titles follow spectate-and-play;
+    /// role-playing titles follow continuous-play).
+    pub fn pattern(self) -> ActivityPattern {
+        match self {
+            Genre::RolePlaying => ActivityPattern::ContinuousPlay,
+            _ => ActivityPattern::SpectateAndPlay,
+        }
+    }
+}
+
+impl std::fmt::Display for Genre {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Genre::Shooter => write!(f, "Shooter"),
+            Genre::RolePlaying => write!(f, "Role-playing"),
+            Genre::Sports => write!(f, "Sports"),
+            Genre::Moba => write!(f, "MOBA"),
+            Genre::Card => write!(f, "Card"),
+        }
+    }
+}
+
+/// Gameplay activity patterns (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ActivityPattern {
+    /// Repeated idle → active ⇄ passive → idle match cycles (shooters,
+    /// sports, MOBA, card games).
+    SpectateAndPlay,
+    /// Long uninterrupted active stretches with occasional idle scenes and
+    /// rare passive moments (role-playing games).
+    ContinuousPlay,
+}
+
+impl ActivityPattern {
+    /// Both patterns.
+    pub const ALL: [ActivityPattern; 2] = [
+        ActivityPattern::SpectateAndPlay,
+        ActivityPattern::ContinuousPlay,
+    ];
+
+    /// Stable class id for ML models.
+    pub fn index(self) -> usize {
+        match self {
+            ActivityPattern::SpectateAndPlay => 0,
+            ActivityPattern::ContinuousPlay => 1,
+        }
+    }
+
+    /// Pattern from its stable class id.
+    pub fn from_index(i: usize) -> Option<ActivityPattern> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl std::fmt::Display for ActivityPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActivityPattern::SpectateAndPlay => write!(f, "Spectate-and-play"),
+            ActivityPattern::ContinuousPlay => write!(f, "Continuous-play"),
+        }
+    }
+}
+
+/// One row of the Table 1 catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Title enum value.
+    pub title: GameTitle,
+    /// Printable name.
+    pub name: &'static str,
+    /// Community genre.
+    pub genre: Genre,
+    /// Fraction of total deployment playtime.
+    pub popularity: f64,
+}
+
+/// The Table 1 catalog, ordered by popularity.
+pub const CATALOG: [CatalogEntry; 13] = [
+    CatalogEntry {
+        title: GameTitle::Fortnite,
+        name: "Fortnite",
+        genre: Genre::Shooter,
+        popularity: 0.3780,
+    },
+    CatalogEntry {
+        title: GameTitle::GenshinImpact,
+        name: "Genshin Impact",
+        genre: Genre::RolePlaying,
+        popularity: 0.2010,
+    },
+    CatalogEntry {
+        title: GameTitle::BaldursGate3,
+        name: "Baldur's Gate 3",
+        genre: Genre::RolePlaying,
+        popularity: 0.0330,
+    },
+    CatalogEntry {
+        title: GameTitle::R6Siege,
+        name: "R6: Siege",
+        genre: Genre::Shooter,
+        popularity: 0.0124,
+    },
+    CatalogEntry {
+        title: GameTitle::HonkaiStarRail,
+        name: "Honkai: Star Rail",
+        genre: Genre::RolePlaying,
+        popularity: 0.0116,
+    },
+    CatalogEntry {
+        title: GameTitle::Destiny2,
+        name: "Destiny 2",
+        genre: Genre::Shooter,
+        popularity: 0.0115,
+    },
+    CatalogEntry {
+        title: GameTitle::CallOfDuty,
+        name: "Call of Duty",
+        genre: Genre::Shooter,
+        popularity: 0.0097,
+    },
+    CatalogEntry {
+        title: GameTitle::Cyberpunk2077,
+        name: "Cyberpunk 2077",
+        genre: Genre::RolePlaying,
+        popularity: 0.0084,
+    },
+    CatalogEntry {
+        title: GameTitle::Overwatch2,
+        name: "Overwatch 2",
+        genre: Genre::Shooter,
+        popularity: 0.0074,
+    },
+    CatalogEntry {
+        title: GameTitle::RocketLeague,
+        name: "Rocket League",
+        genre: Genre::Sports,
+        popularity: 0.0064,
+    },
+    CatalogEntry {
+        title: GameTitle::CsGo,
+        name: "CS:GO/CS2",
+        genre: Genre::Shooter,
+        popularity: 0.0061,
+    },
+    CatalogEntry {
+        title: GameTitle::Dota2,
+        name: "Dota 2",
+        genre: Genre::Moba,
+        popularity: 0.0055,
+    },
+    CatalogEntry {
+        title: GameTitle::Hearthstone,
+        name: "Hearthstone",
+        genre: Genre::Card,
+        popularity: 0.0004,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_consistent_with_enum_order() {
+        for (i, entry) in CATALOG.iter().enumerate() {
+            assert_eq!(entry.title.index(), i);
+            assert_eq!(GameTitle::from_index(i), Some(entry.title));
+        }
+        assert_eq!(GameTitle::from_index(13), None);
+    }
+
+    #[test]
+    fn popularity_sums_to_table_total() {
+        let total: f64 = CATALOG.iter().map(|e| e.popularity).sum();
+        // Table 1 covers "over 69%" of playtime.
+        assert!(total > 0.69 && total < 0.70, "total {total}");
+    }
+
+    #[test]
+    fn catalog_is_sorted_by_popularity() {
+        for w in CATALOG.windows(2) {
+            assert!(w[0].popularity >= w[1].popularity);
+        }
+    }
+
+    #[test]
+    fn genre_pattern_mapping_matches_paper() {
+        // All six shooters, one sports, one MOBA and one card title are
+        // spectate-and-play; all four role-playing titles continuous-play.
+        let spectate: Vec<_> = GameTitle::ALL
+            .iter()
+            .filter(|t| t.pattern() == ActivityPattern::SpectateAndPlay)
+            .collect();
+        assert_eq!(spectate.len(), 9);
+        let continuous: Vec<_> = GameTitle::ALL
+            .iter()
+            .filter(|t| t.pattern() == ActivityPattern::ContinuousPlay)
+            .collect();
+        assert_eq!(continuous.len(), 4);
+        assert!(continuous.iter().all(|t| t.genre() == Genre::RolePlaying));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GameTitle::CsGo.to_string(), "CS:GO/CS2");
+        assert_eq!(Genre::Moba.to_string(), "MOBA");
+        assert_eq!(
+            ActivityPattern::ContinuousPlay.to_string(),
+            "Continuous-play"
+        );
+    }
+
+    #[test]
+    fn pattern_index_roundtrip() {
+        for p in ActivityPattern::ALL {
+            assert_eq!(ActivityPattern::from_index(p.index()), Some(p));
+        }
+        assert_eq!(ActivityPattern::from_index(2), None);
+    }
+}

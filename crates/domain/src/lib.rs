@@ -1,0 +1,57 @@
+//! # cgc-domain — shared vocabulary
+//!
+//! Label types and catalog data shared by the traffic generator, the
+//! feature extractors and the classification pipeline:
+//!
+//! * [`GameTitle`], [`Genre`], [`ActivityPattern`] and the Table 1 catalog
+//!   of the thirteen most popular GeForce NOW titles in the studied
+//!   geography, with their community-defined genres, gameplay activity
+//!   patterns and playtime popularity.
+//! * [`Stage`] — the player activity stage ladder (launch / idle / passive /
+//!   active) that the paper classifies continuously.
+//! * [`settings`] — streaming configuration vocabulary (device class, OS,
+//!   client software, resolution, frame rate) and the Table 2 lab capture
+//!   matrix.
+//! * [`QoeLevel`] — the good/medium/bad experience labels the observability
+//!   platform assigns and the context calibration corrects.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod platform;
+pub mod settings;
+pub mod stage;
+
+pub use catalog::{ActivityPattern, CatalogEntry, GameTitle, Genre, CATALOG};
+pub use platform::Platform;
+pub use settings::{DeviceClass, LabConfig, Os, Resolution, Software, StreamSettings, LAB_CONFIGS};
+pub use stage::Stage;
+
+use serde::{Deserialize, Serialize};
+
+/// Experience level labels used by the network observability platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QoeLevel {
+    /// Degraded experience (e.g. frame rate < 30 fps or throughput < 8 Mbps
+    /// under the objective mapping).
+    Bad,
+    /// Borderline experience.
+    Medium,
+    /// Healthy experience.
+    Good,
+}
+
+impl QoeLevel {
+    /// All levels, worst to best.
+    pub const ALL: [QoeLevel; 3] = [QoeLevel::Bad, QoeLevel::Medium, QoeLevel::Good];
+}
+
+impl std::fmt::Display for QoeLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QoeLevel::Bad => write!(f, "bad"),
+            QoeLevel::Medium => write!(f, "medium"),
+            QoeLevel::Good => write!(f, "good"),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Streaming configuration vocabulary and the Table 2 lab capture matrix.
+//!
+//! The lab dataset spans eight user configurations (device × OS × client
+//! software × streaming-setting range). Settings shift a session's absolute
+//! bitrate and packet rates; the paper's key observation is that the
+//! *relative* launch-stage packet-group structure and the *relative*
+//! stage volumetrics are invariant to them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::Platform;
+
+/// Device class of the subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Desktop or laptop.
+    Pc,
+    /// Phone or tablet.
+    Mobile,
+    /// Smart TV.
+    Tv,
+    /// Gaming console.
+    Console,
+}
+
+/// Operating system of the client device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Microsoft Windows.
+    Windows,
+    /// Apple macOS.
+    MacOs,
+    /// Android.
+    Android,
+    /// Apple iOS.
+    Ios,
+    /// Android TV.
+    AndroidTv,
+    /// Xbox system software.
+    Xbox,
+}
+
+/// Client software used to stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Software {
+    /// The platform's native application.
+    NativeApp,
+    /// In-browser streaming client.
+    Browser,
+}
+
+/// Graphics resolution of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resolution {
+    /// Standard definition (480p).
+    Sd,
+    /// High definition (720p).
+    Hd,
+    /// Full high definition (1080p).
+    Fhd,
+    /// Quad high definition (1440p).
+    Qhd,
+    /// Ultra high definition (2160p).
+    Uhd,
+}
+
+impl Resolution {
+    /// All resolutions, low to high.
+    pub const ALL: [Resolution; 5] = [
+        Resolution::Sd,
+        Resolution::Hd,
+        Resolution::Fhd,
+        Resolution::Qhd,
+        Resolution::Uhd,
+    ];
+
+    /// Relative bitrate multiplier of the resolution tier (SD = 1).
+    ///
+    /// Tiers roughly double the pixel budget; encoders spend sub-linear
+    /// bitrate in pixels, giving the 2–4 per-title bandwidth clusters of
+    /// paper Fig. 12.
+    pub fn bitrate_factor(self) -> f64 {
+        match self {
+            Resolution::Sd => 1.0,
+            Resolution::Hd => 1.6,
+            Resolution::Fhd => 2.4,
+            Resolution::Qhd => 3.4,
+            Resolution::Uhd => 4.8,
+        }
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resolution::Sd => write!(f, "SD"),
+            Resolution::Hd => write!(f, "HD"),
+            Resolution::Fhd => write!(f, "FHD"),
+            Resolution::Qhd => write!(f, "QHD"),
+            Resolution::Uhd => write!(f, "UHD"),
+        }
+    }
+}
+
+/// One concrete streaming configuration of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamSettings {
+    /// Cloud gaming platform streamed from.
+    pub platform: Platform,
+    /// Device class.
+    pub device: DeviceClass,
+    /// Operating system.
+    pub os: Os,
+    /// Client software.
+    pub software: Software,
+    /// Stream resolution.
+    pub resolution: Resolution,
+    /// Streaming frame rate in frames per second (30–120 on GeForce NOW).
+    pub fps: u32,
+}
+
+impl StreamSettings {
+    /// A middle-of-the-road default: Windows native app, FHD, 60 fps.
+    pub fn default_pc() -> Self {
+        StreamSettings {
+            platform: Platform::GeForceNow,
+            device: DeviceClass::Pc,
+            os: Os::Windows,
+            software: Software::NativeApp,
+            resolution: Resolution::Fhd,
+            fps: 60,
+        }
+    }
+
+    /// Combined bitrate multiplier of resolution and frame rate relative to
+    /// the SD/30 fps floor. Frame rate scales bitrate sub-linearly (inter-
+    /// frame coding amortizes static content).
+    pub fn bitrate_factor(&self) -> f64 {
+        let fps_factor = (self.fps as f64 / 30.0).powf(0.6);
+        self.resolution.bitrate_factor() * fps_factor
+    }
+}
+
+/// One row of the Table 2 lab capture matrix: a device/OS/software cell
+/// with the resolution span used, the target session count and the total
+/// playtime collected.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabConfig {
+    /// Device class of the row.
+    pub device: DeviceClass,
+    /// Operating system.
+    pub os: Os,
+    /// Client software.
+    pub software: Software,
+    /// Lowest resolution captured in this row.
+    pub res_min: Resolution,
+    /// Highest resolution captured in this row.
+    pub res_max: Resolution,
+    /// Number of sessions captured (Table 2 "#Sessions").
+    pub sessions: usize,
+    /// Total playtime captured, in hours (Table 2 "Playtime").
+    pub playtime_hours: f64,
+}
+
+/// The eight lab configurations of Table 2 (531 sessions, 67 hours total).
+pub const LAB_CONFIGS: [LabConfig; 8] = [
+    LabConfig {
+        device: DeviceClass::Pc,
+        os: Os::Windows,
+        software: Software::NativeApp,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Uhd,
+        sessions: 89,
+        playtime_hours: 10.9,
+    },
+    LabConfig {
+        device: DeviceClass::Pc,
+        os: Os::Windows,
+        software: Software::Browser,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Qhd,
+        sessions: 60,
+        playtime_hours: 6.8,
+    },
+    LabConfig {
+        device: DeviceClass::Pc,
+        os: Os::MacOs,
+        software: Software::NativeApp,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Uhd,
+        sessions: 76,
+        playtime_hours: 10.5,
+    },
+    LabConfig {
+        device: DeviceClass::Pc,
+        os: Os::MacOs,
+        software: Software::Browser,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Qhd,
+        sessions: 61,
+        playtime_hours: 7.7,
+    },
+    LabConfig {
+        device: DeviceClass::Mobile,
+        os: Os::Android,
+        software: Software::NativeApp,
+        res_min: Resolution::Fhd,
+        res_max: Resolution::Qhd,
+        sessions: 73,
+        playtime_hours: 9.1,
+    },
+    LabConfig {
+        device: DeviceClass::Mobile,
+        os: Os::Ios,
+        software: Software::Browser,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Fhd,
+        sessions: 70,
+        playtime_hours: 8.8,
+    },
+    LabConfig {
+        device: DeviceClass::Tv,
+        os: Os::AndroidTv,
+        software: Software::NativeApp,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Fhd,
+        sessions: 48,
+        playtime_hours: 6.1,
+    },
+    LabConfig {
+        device: DeviceClass::Console,
+        os: Os::Xbox,
+        software: Software::Browser,
+        res_min: Resolution::Sd,
+        res_max: Resolution::Fhd,
+        sessions: 54,
+        playtime_hours: 7.1,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_matrix_matches_table2_totals() {
+        let sessions: usize = LAB_CONFIGS.iter().map(|c| c.sessions).sum();
+        let hours: f64 = LAB_CONFIGS.iter().map(|c| c.playtime_hours).sum();
+        assert_eq!(sessions, 531);
+        assert!((hours - 67.0).abs() < 0.1, "hours {hours}");
+    }
+
+    #[test]
+    fn resolution_factors_are_monotonic() {
+        for w in Resolution::ALL.windows(2) {
+            assert!(w[0].bitrate_factor() < w[1].bitrate_factor());
+        }
+        assert_eq!(Resolution::Sd.bitrate_factor(), 1.0);
+    }
+
+    #[test]
+    fn settings_bitrate_factor_scales_with_fps() {
+        let base = StreamSettings::default_pc();
+        let fast = StreamSettings { fps: 120, ..base };
+        let slow = StreamSettings { fps: 30, ..base };
+        assert!(fast.bitrate_factor() > base.bitrate_factor());
+        assert!(slow.bitrate_factor() < base.bitrate_factor());
+        // Sub-linear in fps: 4x fps < 4x bitrate.
+        assert!(fast.bitrate_factor() / slow.bitrate_factor() < 4.0);
+    }
+
+    #[test]
+    fn resolution_ranges_are_ordered() {
+        for c in &LAB_CONFIGS {
+            assert!(c.res_min <= c.res_max);
+        }
+    }
+}

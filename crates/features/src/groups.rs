@@ -1,0 +1,256 @@
+//! Packet-group labeling: full / steady / sparse (§4.2.1).
+//!
+//! Within each `T`-second time slot of the launch stage:
+//!
+//! * packets carrying the stream's maximum payload size are **full**;
+//! * a remaining packet whose payload is within `±V` (relative) of the
+//!   majority of its neighbouring non-full packets in the slot is
+//!   **steady**;
+//! * otherwise it is **sparse**.
+//!
+//! The neighbourhood is the adjacent packets by arrival order (up to two on
+//! each side), which is what "compared to its adjacent packets" means
+//! operationally: steady bands are *runs* of similar sizes, while sparse
+//! packets disagree with whatever surrounds them.
+
+use nettrace::packet::{Direction, Packet};
+use nettrace::slots::SlotSeries;
+use nettrace::units::Micros;
+use serde::{Deserialize, Serialize};
+
+/// The packet group of one downstream launch packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupLabel {
+    /// Maximum-payload packets, constantly streamed.
+    Full,
+    /// Packets in a narrow payload band shared with their neighbours.
+    Steady,
+    /// Packets whose payloads vary freely against their neighbours.
+    Sparse,
+}
+
+impl GroupLabel {
+    /// All three groups in display order.
+    pub const ALL: [GroupLabel; 3] = [GroupLabel::Full, GroupLabel::Steady, GroupLabel::Sparse];
+
+    /// Short lowercase name used in attribute identifiers.
+    pub fn short(&self) -> &'static str {
+        match self {
+            GroupLabel::Full => "full",
+            GroupLabel::Steady => "steady",
+            GroupLabel::Sparse => "sparse",
+        }
+    }
+}
+
+/// A packet together with its group label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledPacket {
+    /// The packet (downstream).
+    pub packet: Packet,
+    /// Assigned group.
+    pub label: GroupLabel,
+}
+
+/// How many neighbours on each side vote on steadiness.
+const NEIGHBORHOOD: usize = 2;
+
+/// Labels the downstream packets of the first `window` microseconds into
+/// full/steady/sparse groups, slot by slot.
+///
+/// * `slot` — time-slot width `T` in microseconds;
+/// * `v` — relative payload tolerance (the paper deploys `V = 10 %`).
+///
+/// The full-payload size is detected as the maximum downstream payload in
+/// the window (with a 1-byte tolerance for encoder padding variation).
+/// Upstream packets are ignored; output is sorted by arrival time.
+pub fn label_groups(
+    packets: &[Packet],
+    window: Micros,
+    slot: Micros,
+    v: f64,
+) -> Vec<LabeledPacket> {
+    let down: Vec<Packet> = packets
+        .iter()
+        .copied()
+        .filter(|p| p.dir == Direction::Downstream && p.ts < window)
+        .collect();
+    if down.is_empty() {
+        return Vec::new();
+    }
+    let full_size = down.iter().map(|p| p.payload_len).max().expect("non-empty");
+
+    let series = SlotSeries::new(down, 0, slot);
+    let mut out = Vec::new();
+    for view in series.iter() {
+        // Partition the slot: full packets are labeled immediately, the
+        // rest vote among themselves.
+        let rest: Vec<Packet> = view
+            .packets
+            .iter()
+            .copied()
+            .filter(|p| !is_full(p, full_size))
+            .collect();
+        for p in view.packets {
+            if is_full(p, full_size) {
+                out.push(LabeledPacket {
+                    packet: *p,
+                    label: GroupLabel::Full,
+                });
+            }
+        }
+        for (i, p) in rest.iter().enumerate() {
+            let label = if is_steady(&rest, i, v) {
+                GroupLabel::Steady
+            } else {
+                GroupLabel::Sparse
+            };
+            out.push(LabeledPacket { packet: *p, label });
+        }
+    }
+    out.sort_by_key(|lp| lp.packet.ts);
+    out
+}
+
+fn is_full(p: &Packet, full_size: u32) -> bool {
+    p.payload_len + 1 >= full_size
+}
+
+/// Majority vote among up to [`NEIGHBORHOOD`] adjacent packets per side:
+/// steady iff more than half of the existing neighbours are within `±v`
+/// (relative to this packet's size).
+fn is_steady(rest: &[Packet], i: usize, v: f64) -> bool {
+    let size = f64::from(rest[i].payload_len);
+    let lo = i.saturating_sub(NEIGHBORHOOD);
+    let hi = (i + NEIGHBORHOOD + 1).min(rest.len());
+    let mut votes = 0usize;
+    let mut neighbours = 0usize;
+    for (j, q) in rest.iter().enumerate().take(hi).skip(lo) {
+        if j == i {
+            continue;
+        }
+        neighbours += 1;
+        if (f64::from(q.payload_len) - size).abs() <= v * size {
+            votes += 1;
+        }
+    }
+    neighbours > 0 && 2 * votes > neighbours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::units::MICROS_PER_SEC;
+
+    const SLOT: Micros = MICROS_PER_SEC;
+    const WINDOW: Micros = 5 * MICROS_PER_SEC;
+
+    fn pkt(ts: Micros, len: u32) -> Packet {
+        Packet::new(ts, Direction::Downstream, len)
+    }
+
+    #[test]
+    fn full_packets_are_labeled_by_max_size() {
+        let pkts = vec![pkt(0, 1432), pkt(10, 1432), pkt(20, 700)];
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        assert_eq!(labeled.len(), 3);
+        assert_eq!(labeled[0].label, GroupLabel::Full);
+        assert_eq!(labeled[1].label, GroupLabel::Full);
+        assert_ne!(labeled[2].label, GroupLabel::Full);
+    }
+
+    #[test]
+    fn steady_band_is_detected() {
+        // A run of similar sizes (~500 ± 2 %) is steady.
+        let pkts: Vec<Packet> = (0..20)
+            .map(|i| pkt(i * 1000, 500 + (i % 3) as u32 * 8))
+            .chain(std::iter::once(pkt(30_000, 1432)))
+            .collect();
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        let steady = labeled
+            .iter()
+            .filter(|l| l.label == GroupLabel::Steady)
+            .count();
+        assert_eq!(steady, 20);
+    }
+
+    #[test]
+    fn random_sizes_are_sparse() {
+        // Wildly varying sizes among neighbours.
+        let sizes = [100u32, 900, 250, 1200, 60, 700, 350, 1100];
+        let pkts: Vec<Packet> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| pkt(i as u64 * 1000, s))
+            .chain(std::iter::once(pkt(90_000, 1432)))
+            .collect();
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        let sparse = labeled
+            .iter()
+            .filter(|l| l.label == GroupLabel::Sparse)
+            .count();
+        assert!(sparse >= 6, "sparse {sparse}");
+    }
+
+    #[test]
+    fn tolerance_controls_the_boundary() {
+        // Sizes drift by 12 % between neighbours: steady at V=20 %, sparse
+        // at V=5 % (mirrors the paper's V tuning observations).
+        let pkts: Vec<Packet> = (0..10)
+            .map(|i| pkt(i * 1000, (400.0 * 1.12f64.powi((i % 2) as i32)) as u32))
+            .chain(std::iter::once(pkt(20_000, 1432)))
+            .collect();
+        let loose = label_groups(&pkts, WINDOW, SLOT, 0.20);
+        let tight = label_groups(&pkts, WINDOW, SLOT, 0.05);
+        let steady =
+            |ls: &[LabeledPacket]| ls.iter().filter(|l| l.label == GroupLabel::Steady).count();
+        assert!(steady(&loose) >= 9, "loose {}", steady(&loose));
+        assert_eq!(steady(&tight), 0);
+    }
+
+    #[test]
+    fn voting_is_per_slot() {
+        // Band in slot 0, random in slot 1 — the slot boundary isolates them.
+        let mut pkts: Vec<Packet> = (0..10).map(|i| pkt(i * 1000, 600)).collect();
+        let randoms = [100u32, 1200, 300, 900, 80, 1000];
+        pkts.extend(
+            randoms
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| pkt(SLOT + i as u64 * 1000, s)),
+        );
+        pkts.push(pkt(500, 1432));
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        for l in &labeled {
+            if l.packet.ts < SLOT && l.packet.payload_len == 600 {
+                assert_eq!(l.label, GroupLabel::Steady);
+            }
+            if l.packet.ts >= SLOT && l.packet.payload_len != 1432 {
+                assert_eq!(l.label, GroupLabel::Sparse, "size {}", l.packet.payload_len);
+            }
+        }
+    }
+
+    #[test]
+    fn upstream_and_out_of_window_are_ignored() {
+        let pkts = vec![
+            pkt(0, 1432),
+            Packet::new(10, Direction::Upstream, 1432),
+            pkt(WINDOW + 1, 1432),
+        ];
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        assert_eq!(labeled.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(label_groups(&[], WINDOW, SLOT, 0.1).is_empty());
+    }
+
+    #[test]
+    fn output_is_time_sorted() {
+        let pkts = vec![pkt(5000, 1432), pkt(0, 300), pkt(2500, 1432)];
+        let labeled = label_groups(&pkts, WINDOW, SLOT, 0.1);
+        assert!(labeled.windows(2).all(|w| w[0].packet.ts <= w[1].packet.ts));
+    }
+}

@@ -1,0 +1,35 @@
+//! # cgc-features — feature extraction for cloud gaming context classification
+//!
+//! Turns raw traffic observations into the attribute vectors the paper's
+//! two classification processes consume:
+//!
+//! * [`groups`] — labels downstream launch-stage packets as **full**,
+//!   **steady** or **sparse** per `T`-second time slot using the
+//!   majority-voting rule with payload-variation tolerance `V` (§4.2.1).
+//! * [`launch_attrs`] — the per-time-slot statistical attributes of the
+//!   three packet groups (§4.2.2, Fig. 7): with the deployed `N = 5 s`,
+//!   `T = 1 s` configuration this is the 51-attribute vector of Fig. 9.
+//!   Also provides the plain flow-volumetric alternative the paper
+//!   compares against in Table 3.
+//! * [`relative`] — peak-relative normalization with a dynamically seeded
+//!   peak and the EMA smoother of Eq. 1 (§4.3.1).
+//! * [`vol_attrs`] — the streaming stage-feature extractor: per `I`-second
+//!   slot, EMA-smoothed peak-relative `[down Mbps, down pps, up Mbps,
+//!   up pps]`.
+//! * [`transitions`] — the 3×3 stage-transition accumulator whose nine
+//!   normalized cells are the gameplay-activity-pattern attributes
+//!   (§4.3.2, Table 5).
+
+#![warn(missing_docs)]
+
+pub mod groups;
+pub mod launch_attrs;
+pub mod relative;
+pub mod transitions;
+pub mod vol_attrs;
+
+pub use groups::{label_groups, GroupLabel, LabeledPacket};
+pub use launch_attrs::{flow_volumetric_attributes, launch_attributes, LaunchAttrConfig};
+pub use relative::{Ema, PeakNormalizer};
+pub use transitions::TransitionAccumulator;
+pub use vol_attrs::{StageFeatureConfig, StageFeatureExtractor};

@@ -1,0 +1,177 @@
+//! Peak-relative normalization and EMA smoothing (§4.3.1).
+//!
+//! Absolute volumetric levels differ per title and settings, but the
+//! *relative* levels per player activity stage are consistent. Each
+//! attribute is therefore expressed as a fraction of the peak value
+//! observed so far, with the peak seeded during the game launch (above a
+//! dynamically decided threshold) so the first gameplay slots already have
+//! a meaningful denominator. Noisy short behaviours are damped with the
+//! exponential moving average of Eq. 1:
+//!
+//! ```text
+//! attr_t = α · attr_t + (1 − α) · attr_{t−1}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming peak tracker producing peak-relative values.
+///
+/// ```
+/// use cgc_features::relative::PeakNormalizer;
+/// let mut norm = PeakNormalizer::new(20.0, 1.0); // seeded from the launch
+/// assert_eq!(norm.push(10.0), 0.5);
+/// assert_eq!(norm.push(40.0), 1.0);  // raises the peak
+/// assert_eq!(norm.push(10.0), 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeakNormalizer {
+    peak: f64,
+    floor: f64,
+}
+
+impl PeakNormalizer {
+    /// Creates a normalizer seeded with a launch-derived peak estimate.
+    /// `seed_peak` is clamped below by `floor` (the dynamic threshold that
+    /// stops near-zero launch observations from exploding early ratios).
+    pub fn new(seed_peak: f64, floor: f64) -> PeakNormalizer {
+        PeakNormalizer {
+            peak: seed_peak.max(floor),
+            floor: floor.max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Feeds one observation and returns it as a fraction of the running
+    /// peak, capped at 1 (the observation that raises the peak reads as 1).
+    pub fn push(&mut self, value: f64) -> f64 {
+        let v = value.max(0.0);
+        if v > self.peak {
+            self.peak = v;
+        }
+        (v / self.peak).min(1.0)
+    }
+
+    /// Current peak.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+/// Exponential moving average with current-observation weight `α` (Eq. 1).
+///
+/// ```
+/// use cgc_features::relative::Ema;
+/// let mut ema = Ema::new(0.4);
+/// assert_eq!(ema.push(10.0), 10.0);       // first value initializes
+/// assert_eq!(ema.push(0.0), 6.0);         // 0.4·0 + 0.6·10
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ema {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ema {
+    /// Creates an EMA with weight `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Ema {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ema { alpha, state: None }
+    }
+
+    /// Feeds one observation, returning the smoothed value. The first
+    /// observation initializes the state.
+    pub fn push(&mut self, value: f64) -> f64 {
+        let next = match self.state {
+            None => value,
+            Some(prev) => self.alpha * value + (1.0 - self.alpha) * prev,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// Current smoothed value, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// The α weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizer_tracks_peak() {
+        let mut n = PeakNormalizer::new(10.0, 1.0);
+        assert_eq!(n.push(5.0), 0.5);
+        assert_eq!(n.push(20.0), 1.0); // raises the peak
+        assert_eq!(n.peak(), 20.0);
+        assert_eq!(n.push(5.0), 0.25);
+    }
+
+    #[test]
+    fn floor_prevents_tiny_seeds() {
+        let mut n = PeakNormalizer::new(0.0001, 1.0);
+        assert_eq!(n.peak(), 1.0);
+        assert_eq!(n.push(0.5), 0.5);
+    }
+
+    #[test]
+    fn negative_observations_clamp_to_zero() {
+        let mut n = PeakNormalizer::new(10.0, 1.0);
+        assert_eq!(n.push(-3.0), 0.0);
+        assert_eq!(n.peak(), 10.0);
+    }
+
+    #[test]
+    fn ema_follows_eq1() {
+        let mut e = Ema::new(0.4);
+        assert_eq!(e.push(10.0), 10.0); // init
+        let v = e.push(0.0);
+        assert!((v - 6.0).abs() < 1e-12); // 0.4·0 + 0.6·10
+        let v2 = e.push(0.0);
+        assert!((v2 - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let mut e = Ema::new(1.0);
+        e.push(5.0);
+        assert_eq!(e.push(7.0), 7.0);
+    }
+
+    #[test]
+    fn small_alpha_damps_spikes() {
+        let mut slow = Ema::new(0.2);
+        let mut fast = Ema::new(0.9);
+        for _ in 0..20 {
+            slow.push(1.0);
+            fast.push(1.0);
+        }
+        // One-slot spike to 10.
+        let s = slow.push(10.0);
+        let f = fast.push(10.0);
+        assert!(s < 3.0, "slow EMA spiked to {s}");
+        assert!(f > 8.0, "fast EMA only reached {f}");
+    }
+
+    #[test]
+    fn value_reports_state() {
+        let mut e = Ema::new(0.5);
+        assert_eq!(e.value(), None);
+        e.push(2.0);
+        assert_eq!(e.value(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_panics() {
+        let _ = Ema::new(0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dataset builders.
+//!
+//! [`lab_dataset`] reproduces the shape of the paper's lab capture (§3.1,
+//! Table 2): sessions spread across the thirteen titles and the eight
+//! device/OS/software configurations, with resolutions drawn from each
+//! row's range and frame rates from {30, 60, 120}. Gameplay lengths are
+//! configurable: the experiments default to a few minutes per session,
+//! which preserves every statistic the classifiers consume while keeping
+//! generation tractable.
+
+use cgc_domain::{GameTitle, Resolution, StreamSettings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cgc_domain::settings::LAB_CONFIGS;
+
+use crate::profile::TitleKind;
+use crate::session::{Fidelity, Session, SessionConfig, SessionGenerator};
+
+/// Configuration of a lab-style dataset build.
+#[derive(Debug, Clone)]
+pub struct LabDatasetConfig {
+    /// Total sessions to generate (the paper captured 531).
+    pub sessions: usize,
+    /// Gameplay seconds per session.
+    pub gameplay_secs: f64,
+    /// Realization fidelity.
+    pub fidelity: Fidelity,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LabDatasetConfig {
+    fn default() -> Self {
+        LabDatasetConfig {
+            sessions: 531,
+            gameplay_secs: 300.0,
+            fidelity: Fidelity::LaunchOnly,
+            seed: 1,
+        }
+    }
+}
+
+/// Draws a [`StreamSettings`] from one of the Table 2 lab rows,
+/// proportionally to the row session counts.
+pub fn sample_lab_settings(rng: &mut StdRng) -> StreamSettings {
+    let total: usize = LAB_CONFIGS.iter().map(|c| c.sessions).sum();
+    let mut pick = rng.gen_range(0..total);
+    let row = LAB_CONFIGS
+        .iter()
+        .find(|c| {
+            if pick < c.sessions {
+                true
+            } else {
+                pick -= c.sessions;
+                false
+            }
+        })
+        .expect("row selection in range");
+    let lo = Resolution::ALL
+        .iter()
+        .position(|r| *r == row.res_min)
+        .unwrap();
+    let hi = Resolution::ALL
+        .iter()
+        .position(|r| *r == row.res_max)
+        .unwrap();
+    let resolution = Resolution::ALL[rng.gen_range(lo..=hi)];
+    let fps = *[30u32, 60, 120]
+        .get(rng.gen_range(0..3))
+        .expect("fps option");
+    StreamSettings {
+        platform: cgc_domain::Platform::GeForceNow,
+        device: row.device,
+        os: row.os,
+        software: row.software,
+        resolution,
+        fps,
+    }
+}
+
+/// Builds a lab-style dataset: `cfg.sessions` sessions cycling through the
+/// thirteen titles (so every title is near-equally represented, as in the
+/// lab capture), each with settings drawn from the Table 2 matrix.
+pub fn lab_dataset(cfg: &LabDatasetConfig) -> Vec<Session> {
+    let mut generator = SessionGenerator::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.sessions)
+        .map(|i| {
+            let title = GameTitle::ALL[i % GameTitle::ALL.len()];
+            let settings = sample_lab_settings(&mut rng);
+            generator.generate(&SessionConfig {
+                kind: TitleKind::Known(title),
+                settings,
+                gameplay_secs: cfg.gameplay_secs * rng.gen_range(0.7..1.3),
+                fidelity: cfg.fidelity,
+                seed: cfg.seed.wrapping_mul(0x51ed_270b).wrapping_add(i as u64),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lab_dataset_covers_all_titles_evenly() {
+        let cfg = LabDatasetConfig {
+            sessions: 52,
+            gameplay_secs: 30.0,
+            ..Default::default()
+        };
+        let ds = lab_dataset(&cfg);
+        assert_eq!(ds.len(), 52);
+        let mut counts: HashMap<GameTitle, usize> = HashMap::new();
+        for s in &ds {
+            *counts.entry(s.kind.known().unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 13);
+        assert!(counts.values().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn settings_respect_lab_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = sample_lab_settings(&mut rng);
+            let row = LAB_CONFIGS
+                .iter()
+                .find(|c| c.device == s.device && c.os == s.os && c.software == s.software)
+                .expect("settings belong to a lab row");
+            assert!(s.resolution >= row.res_min && s.resolution <= row.res_max);
+            assert!([30, 60, 120].contains(&s.fps));
+        }
+    }
+
+    #[test]
+    fn dataset_is_reproducible() {
+        let cfg = LabDatasetConfig {
+            sessions: 6,
+            gameplay_secs: 20.0,
+            ..Default::default()
+        };
+        let a = lab_dataset(&cfg);
+        let b = lab_dataset(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packets, y.packets);
+        }
+    }
+
+    #[test]
+    fn session_durations_vary() {
+        let cfg = LabDatasetConfig {
+            sessions: 8,
+            gameplay_secs: 60.0,
+            ..Default::default()
+        };
+        let ds = lab_dataset(&cfg);
+        let durations: Vec<u64> = ds.iter().map(|s| s.duration()).collect();
+        let uniq: std::collections::HashSet<u64> = durations.iter().copied().collect();
+        assert!(uniq.len() > 4);
+    }
+}

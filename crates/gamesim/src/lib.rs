@@ -1,0 +1,67 @@
+//! # gamesim — synthetic cloud gaming traffic generator
+//!
+//! Stand-in for the paper's two data sources: the 531-session lab PCAP
+//! dataset (§3.1) and the three-month ISP deployment (§5). It generates
+//! cloud game streaming sessions whose traffic reproduces the statistical
+//! structure the paper's classifiers rely on:
+//!
+//! * **Launch-stage packet groups** (§3.2, Fig. 3): during the first tens of
+//!   seconds each title streams its own opening animation, producing a
+//!   per-title-stable arrangement of *full* (maximum payload), *steady*
+//!   (narrow payload bands) and *sparse* (randomly sized) packets across
+//!   time slots. [`launch::LaunchSignature`] encodes one such arrangement
+//!   deterministically per title; sessions of the same title share it up to
+//!   bounded noise, sessions of different titles differ structurally.
+//! * **Stage-dependent volumetrics** (§3.3, Fig. 4): per player activity
+//!   stage, the *relative* bidirectional throughput/packet-rate levels are
+//!   consistent across titles and settings, while absolute levels scale
+//!   with the title's demand and the stream settings.
+//! * **Gameplay activity patterns** (§2.1, Fig. 5): stage timelines follow
+//!   per-pattern semi-Markov models — spectate-and-play sessions cycle
+//!   idle → active ⇄ passive, continuous-play sessions hold long active
+//!   stretches with idle interludes and rare passive moments.
+//!
+//! Sessions can be realized at two fidelities: full packet traces (lab
+//! experiments, pcap round-trips) or launch packets plus a pre-aggregated
+//! volumetric series (fleet experiments at deployment scale).
+//!
+//! Everything is seeded and deterministic: the same config and seed yield
+//! identical sessions.
+//!
+//! ```
+//! use cgc_domain::{GameTitle, StreamSettings};
+//! use gamesim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+//!
+//! let mut generator = SessionGenerator::new();
+//! let session = generator.generate(&SessionConfig {
+//!     kind: TitleKind::Known(GameTitle::Fortnite),
+//!     settings: StreamSettings::default_pc(),
+//!     gameplay_secs: 30.0,
+//!     fidelity: Fidelity::LaunchOnly,
+//!     seed: 7,
+//! });
+//! assert!(!session.packets.is_empty());          // launch-stage packets
+//! assert!(session.vol.len() > 300);              // 100 ms volumetric slots
+//! assert_eq!(session.stages()[0].stage, cgc_domain::Stage::Launch);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod launch;
+pub mod plan;
+pub mod profile;
+pub mod session;
+pub mod stages;
+
+pub use dataset::{lab_dataset, LabDatasetConfig};
+pub use launch::LaunchSignature;
+pub use profile::{TitleKind, TitleProfile};
+pub use session::{Fidelity, Session, SessionConfig, SessionGenerator};
+pub use stages::StageSpan;
+pub use stages::StageTimeline;
+
+/// Maximum RTP payload size on the streaming path, bytes — the "full"
+/// packet size of §3.2 (1432 = 1500 MTU − IP/UDP/RTP overhead − platform
+/// framing).
+pub const FULL_PAYLOAD: u32 = 1432;

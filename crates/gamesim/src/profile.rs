@@ -1,0 +1,369 @@
+//! Per-title traffic profiles.
+//!
+//! Each catalog title carries the knobs that make its sessions look like
+//! themselves: base bitrate demand (which, multiplied by the settings
+//! factor, produces the per-title bandwidth clusters of Fig. 12), launch
+//! animation length, typical session duration (Fig. 11a) and the stage-mix
+//! weights that skew the semi-Markov dwell times (e.g. Baldur's Gate's
+//! dialogue-heavy idle share vs Fortnite's active-heavy matches).
+
+use cgc_domain::{ActivityPattern, GameTitle};
+use serde::{Deserialize, Serialize};
+
+/// What is being played: a catalog title, or one of the long tail of
+/// non-catalog titles that the pipeline can only classify coarsely by
+/// activity pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TitleKind {
+    /// One of the thirteen Table 1 titles.
+    Known(GameTitle),
+    /// A non-catalog title. `variant` seeds its (unknown-to-the-classifier)
+    /// launch signature; the pattern drives its stage dynamics.
+    Other {
+        /// Gameplay activity pattern of the unknown title.
+        pattern: ActivityPattern,
+        /// Distinguishes different unknown titles.
+        variant: u32,
+    },
+}
+
+impl TitleKind {
+    /// The activity pattern of the title.
+    pub fn pattern(&self) -> ActivityPattern {
+        match self {
+            TitleKind::Known(t) => t.pattern(),
+            TitleKind::Other { pattern, .. } => *pattern,
+        }
+    }
+
+    /// The catalog title, if this is a known one.
+    pub fn known(&self) -> Option<GameTitle> {
+        match self {
+            TitleKind::Known(t) => Some(*t),
+            TitleKind::Other { .. } => None,
+        }
+    }
+
+    /// A stable seed component distinguishing launch signatures.
+    pub fn signature_seed(&self) -> u64 {
+        match self {
+            TitleKind::Known(t) => t.index() as u64,
+            // Offset well past the catalog ids.
+            TitleKind::Other { variant, .. } => 1_000 + u64::from(*variant),
+        }
+    }
+}
+
+impl std::fmt::Display for TitleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TitleKind::Known(t) => write!(f, "{t}"),
+            TitleKind::Other { pattern, variant } => write!(f, "other-{variant} ({pattern})"),
+        }
+    }
+}
+
+/// Relative weights of time spent per gameplay stage, used to scale the
+/// pattern's baseline dwell times. Larger weight → longer dwells in that
+/// stage for this title.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageMix {
+    /// Active-stage dwell multiplier.
+    pub active: f64,
+    /// Passive-stage dwell multiplier.
+    pub passive: f64,
+    /// Idle-stage dwell multiplier.
+    pub idle: f64,
+}
+
+/// The traffic personality of a title.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TitleProfile {
+    /// Active-stage downstream bitrate at SD/30 fps, Mbps. Multiplied by
+    /// [`cgc_domain::StreamSettings::bitrate_factor`] this spans the Fig. 12
+    /// per-title bandwidth clusters (Hearthstone ≈ 1.8 → ≤ 20 Mbps,
+    /// Baldur's Gate ≈ 6.2 → ≤ 68 Mbps at the best settings).
+    pub base_mbps: f64,
+    /// Launch animation length in seconds (per title, 30–60 s in §3.2).
+    pub launch_secs: f64,
+    /// Mean session duration in minutes (Fig. 11a).
+    pub session_minutes_mean: f64,
+    /// Standard deviation of session duration, minutes.
+    pub session_minutes_std: f64,
+    /// Stage dwell-time weights.
+    pub mix: StageMix,
+}
+
+impl TitleProfile {
+    /// The profile of a known catalog title.
+    pub fn of(title: GameTitle) -> TitleProfile {
+        use GameTitle::*;
+        let (base_mbps, launch_secs, mins, mins_std, mix) = match title {
+            Fortnite => (
+                5.9,
+                38.0,
+                55.0,
+                18.0,
+                StageMix {
+                    active: 1.5,
+                    passive: 0.7,
+                    idle: 0.7,
+                },
+            ),
+            GenshinImpact => (
+                4.6,
+                52.0,
+                70.0,
+                22.0,
+                StageMix {
+                    active: 1.0,
+                    passive: 1.0,
+                    idle: 1.0,
+                },
+            ),
+            BaldursGate3 => (
+                6.2,
+                48.0,
+                95.0,
+                28.0,
+                StageMix {
+                    active: 0.8,
+                    passive: 1.6,
+                    idle: 1.7,
+                },
+            ),
+            R6Siege => (
+                4.9,
+                35.0,
+                68.0,
+                20.0,
+                StageMix {
+                    active: 1.0,
+                    passive: 1.2,
+                    idle: 1.1,
+                },
+            ),
+            HonkaiStarRail => (
+                3.6,
+                44.0,
+                65.0,
+                20.0,
+                StageMix {
+                    active: 0.8,
+                    passive: 1.5,
+                    idle: 1.5,
+                },
+            ),
+            Destiny2 => (
+                4.4,
+                41.0,
+                60.0,
+                18.0,
+                StageMix {
+                    active: 1.1,
+                    passive: 1.0,
+                    idle: 0.9,
+                },
+            ),
+            CallOfDuty => (
+                5.2,
+                37.0,
+                62.0,
+                19.0,
+                StageMix {
+                    active: 1.1,
+                    passive: 1.0,
+                    idle: 0.9,
+                },
+            ),
+            Cyberpunk2077 => (
+                5.5,
+                50.0,
+                82.0,
+                24.0,
+                StageMix {
+                    active: 0.9,
+                    passive: 1.4,
+                    idle: 1.5,
+                },
+            ),
+            Overwatch2 => (
+                4.7,
+                33.0,
+                48.0,
+                15.0,
+                StageMix {
+                    active: 1.1,
+                    passive: 1.1,
+                    idle: 0.9,
+                },
+            ),
+            RocketLeague => (
+                4.2,
+                30.0,
+                30.0,
+                10.0,
+                StageMix {
+                    active: 1.2,
+                    passive: 0.9,
+                    idle: 0.9,
+                },
+            ),
+            CsGo => (
+                4.0,
+                31.0,
+                28.0,
+                9.0,
+                StageMix {
+                    active: 1.0,
+                    passive: 1.1,
+                    idle: 1.0,
+                },
+            ),
+            Dota2 => (
+                3.8,
+                42.0,
+                75.0,
+                22.0,
+                StageMix {
+                    active: 1.7,
+                    passive: 0.6,
+                    idle: 0.8,
+                },
+            ),
+            Hearthstone => (
+                1.8,
+                34.0,
+                45.0,
+                14.0,
+                StageMix {
+                    active: 0.9,
+                    passive: 1.0,
+                    idle: 1.8,
+                },
+            ),
+        };
+        TitleProfile {
+            base_mbps,
+            launch_secs,
+            session_minutes_mean: mins,
+            session_minutes_std: mins_std,
+            mix,
+        }
+    }
+
+    /// Profile for any [`TitleKind`]; unknown titles get a mid-range
+    /// profile varied deterministically by their variant id.
+    pub fn of_kind(kind: &TitleKind) -> TitleProfile {
+        match kind {
+            TitleKind::Known(t) => Self::of(*t),
+            TitleKind::Other { pattern, variant } => {
+                // Spread unknown titles over plausible ranges.
+                let v = u64::from(*variant);
+                let frac = |salt: u64, lo: f64, hi: f64| {
+                    let h = v
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+                    let u = ((h >> 11) as f64) / ((1u64 << 53) as f64);
+                    lo + u * (hi - lo)
+                };
+                let mix = match pattern {
+                    ActivityPattern::ContinuousPlay => StageMix {
+                        active: frac(1, 0.8, 1.2),
+                        passive: frac(2, 0.8, 1.6),
+                        idle: frac(3, 1.0, 1.8),
+                    },
+                    ActivityPattern::SpectateAndPlay => StageMix {
+                        active: frac(1, 0.8, 1.6),
+                        passive: frac(2, 0.6, 1.3),
+                        idle: frac(3, 0.7, 1.4),
+                    },
+                };
+                TitleProfile {
+                    base_mbps: frac(4, 2.2, 6.0),
+                    launch_secs: frac(5, 30.0, 58.0),
+                    session_minutes_mean: match pattern {
+                        ActivityPattern::ContinuousPlay => frac(6, 55.0, 100.0),
+                        ActivityPattern::SpectateAndPlay => frac(6, 25.0, 75.0),
+                    },
+                    session_minutes_std: frac(7, 8.0, 25.0),
+                    mix,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_domain::{Resolution, StreamSettings};
+
+    #[test]
+    fn fig12_bandwidth_extremes() {
+        // Best settings: UHD at 120 fps.
+        let best = StreamSettings {
+            resolution: Resolution::Uhd,
+            fps: 120,
+            ..StreamSettings::default_pc()
+        };
+        let hearth = TitleProfile::of(GameTitle::Hearthstone).base_mbps * best.bitrate_factor();
+        let baldur = TitleProfile::of(GameTitle::BaldursGate3).base_mbps * best.bitrate_factor();
+        assert!(hearth <= 22.0, "Hearthstone max {hearth:.1} Mbps");
+        assert!(
+            (60.0..75.0).contains(&baldur),
+            "Baldur's Gate max {baldur:.1} Mbps"
+        );
+    }
+
+    #[test]
+    fn all_titles_have_sane_profiles() {
+        for t in GameTitle::ALL {
+            let p = TitleProfile::of(t);
+            assert!(p.base_mbps > 1.0 && p.base_mbps < 8.0);
+            assert!(p.launch_secs >= 30.0 && p.launch_secs <= 60.0);
+            assert!(p.session_minutes_mean >= 20.0);
+        }
+    }
+
+    #[test]
+    fn session_duration_ordering_matches_fig11a() {
+        let m = |t| TitleProfile::of(t).session_minutes_mean;
+        assert!(m(GameTitle::BaldursGate3) > m(GameTitle::Cyberpunk2077));
+        assert!(m(GameTitle::Cyberpunk2077) > m(GameTitle::Fortnite));
+        // Rocket League and CS:GO are the shortest.
+        for t in GameTitle::ALL {
+            if t != GameTitle::RocketLeague && t != GameTitle::CsGo {
+                assert!(m(t) > m(GameTitle::CsGo));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_profiles_are_deterministic_and_varied() {
+        let a = TitleKind::Other {
+            pattern: ActivityPattern::ContinuousPlay,
+            variant: 7,
+        };
+        let b = TitleKind::Other {
+            pattern: ActivityPattern::ContinuousPlay,
+            variant: 8,
+        };
+        assert_eq!(TitleProfile::of_kind(&a), TitleProfile::of_kind(&a));
+        assert_ne!(TitleProfile::of_kind(&a), TitleProfile::of_kind(&b));
+    }
+
+    #[test]
+    fn title_kind_accessors() {
+        let k = TitleKind::Known(GameTitle::Dota2);
+        assert_eq!(k.known(), Some(GameTitle::Dota2));
+        assert_eq!(k.pattern(), ActivityPattern::SpectateAndPlay);
+        let o = TitleKind::Other {
+            pattern: ActivityPattern::ContinuousPlay,
+            variant: 3,
+        };
+        assert_eq!(o.known(), None);
+        assert_eq!(o.pattern(), ActivityPattern::ContinuousPlay);
+        assert_ne!(k.signature_seed(), o.signature_seed());
+    }
+}

@@ -1,0 +1,434 @@
+//! Whole-session assembly.
+//!
+//! A [`Session`] bundles everything the experiments need about one cloud
+//! game streaming session: metadata (title, settings), the ground-truth
+//! stage timeline, a packet trace (full at lab fidelity, launch-only at
+//! fleet fidelity), and a 100 ms volumetric series covering the whole
+//! session. At lab fidelity the volumetrics are *computed from* the packet
+//! trace; at fleet fidelity they are synthesized from the same rate plan,
+//! so downstream consumers see consistent statistics either way.
+
+use cgc_domain::StreamSettings;
+use nettrace::packet::{Direction, FiveTuple, Packet};
+use nettrace::units::{Micros, MICROS_PER_SEC};
+use nettrace::vol::{VolSample, VolSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::launch::LaunchSignature;
+use crate::plan::{GameplayPlan, SUBSLOT};
+use crate::profile::{TitleKind, TitleProfile};
+use crate::stages::{StageSpan, StageTimeline};
+
+pub use crate::stages::StageSpan as Span;
+
+/// How much of the session is realized as packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full packet trace (lab capture equivalent). Memory scales with
+    /// session length × bitrate; keep gameplay to minutes.
+    FullPackets,
+    /// Packets for the launch stage only, plus synthesized volumetrics for
+    /// the gameplay — the deployment-scale representation.
+    LaunchOnly,
+}
+
+/// Configuration of one generated session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// What is being played.
+    pub kind: TitleKind,
+    /// Stream settings of the client.
+    pub settings: StreamSettings,
+    /// Gameplay length in seconds (launch length comes from the title).
+    pub gameplay_secs: f64,
+    /// Realization fidelity.
+    pub fidelity: Fidelity,
+    /// Session seed; same config + seed ⇒ identical session.
+    pub seed: u64,
+}
+
+/// One generated cloud game streaming session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Sequential id assigned by the generator.
+    pub id: u64,
+    /// What was played.
+    pub kind: TitleKind,
+    /// Stream settings used.
+    pub settings: StreamSettings,
+    /// The session's five-tuple in downstream orientation.
+    pub tuple: FiveTuple,
+    /// Packet trace: full session at [`Fidelity::FullPackets`], launch
+    /// stage only at [`Fidelity::LaunchOnly`].
+    pub packets: Vec<Packet>,
+    /// 100 ms volumetric series covering the whole session.
+    pub vol: VolSeries,
+    /// Ground-truth stage timeline.
+    pub timeline: StageTimeline,
+    /// Ground-truth mean delivered frame rate over gameplay, fps.
+    pub truth_fps: f64,
+}
+
+impl Session {
+    /// Session duration in microseconds.
+    pub fn duration(&self) -> Micros {
+        self.timeline.end()
+    }
+
+    /// Ground-truth stage spans.
+    pub fn stages(&self) -> &[StageSpan] {
+        &self.timeline.spans
+    }
+
+    /// Volumetrics re-binned to `width` microseconds (must be a multiple of
+    /// the native 100 ms resolution).
+    ///
+    /// # Panics
+    /// Panics if `width` is not a positive multiple of [`SUBSLOT`].
+    pub fn vol_at(&self, width: Micros) -> VolSeries {
+        assert!(
+            width >= SUBSLOT && width.is_multiple_of(SUBSLOT),
+            "width must be a multiple of the native 100 ms resolution"
+        );
+        self.vol.rebin((width / SUBSLOT) as usize)
+    }
+
+    /// Packets of the first `secs` seconds (used by the title classifier).
+    pub fn launch_window(&self, secs: f64) -> Vec<Packet> {
+        let cutoff = (secs * 1e6) as Micros;
+        self.packets
+            .iter()
+            .copied()
+            .filter(|p| p.ts < cutoff)
+            .collect()
+    }
+}
+
+/// Factory generating sessions with unique ids and five-tuples.
+#[derive(Debug)]
+pub struct SessionGenerator {
+    next_id: u64,
+}
+
+impl Default for SessionGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionGenerator {
+    /// A fresh generator.
+    pub fn new() -> Self {
+        SessionGenerator { next_id: 0 }
+    }
+
+    /// Generates one session from a config.
+    pub fn generate(&mut self, config: &SessionConfig) -> Session {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00_D15E_A5E5);
+        let profile = TitleProfile::of_kind(&config.kind);
+        let signature = LaunchSignature::for_kind(&config.kind);
+
+        // Five-tuple: server-side UDP port from the platform's signature.
+        let tuple = FiveTuple::udp_v4(
+            [10, 0, rng.gen(), rng.gen_range(1..=254)],
+            config.settings.platform.server_port(rng.gen()),
+            [100, 64, rng.gen(), rng.gen_range(1..=254)],
+            rng.gen_range(50_000..60_000),
+        );
+
+        let timeline = StageTimeline::generate(
+            config.kind.pattern(),
+            &profile.mix,
+            signature.duration_secs() as f64,
+            config.gameplay_secs,
+            &mut rng,
+        );
+        let plan = GameplayPlan::generate(&timeline, &profile, &config.settings, &mut rng);
+        let truth_fps = plan.mean_fps();
+
+        let launch_pkts = signature.emit(&mut rng, &config.settings, 0);
+        // Minimal upstream during launch: client keep-alives/handshakes.
+        let launch_up = launch_upstream(&mut rng, signature.duration_secs());
+
+        let (packets, vol) = match config.fidelity {
+            Fidelity::FullPackets => {
+                let mut packets = launch_pkts;
+                packets.extend(launch_up);
+                packets.extend(plan.emit_packets(&mut rng));
+                packets.sort_by_key(|p| p.ts);
+                let vol = VolSeries::from_packets(&packets, 0, SUBSLOT);
+                (packets, vol)
+            }
+            Fidelity::LaunchOnly => {
+                let mut packets = launch_pkts;
+                packets.extend(launch_up);
+                packets.sort_by_key(|p| p.ts);
+                let vol = synth_vol(&signature, &config.settings, &plan, &mut rng);
+                (packets, vol)
+            }
+        };
+
+        Session {
+            id,
+            kind: config.kind,
+            settings: config.settings,
+            tuple,
+            packets,
+            vol,
+            timeline,
+            truth_fps,
+        }
+    }
+}
+
+/// Sparse upstream chatter during the launch animation (~5 pps keep-alives).
+fn launch_upstream(rng: &mut StdRng, launch_secs: usize) -> Vec<Packet> {
+    let mut out = Vec::new();
+    for s in 0..launch_secs {
+        for _ in 0..rng.gen_range(3..=7) {
+            let ts = s as u64 * MICROS_PER_SEC + rng.gen_range(0..MICROS_PER_SEC);
+            out.push(Packet::new(ts, Direction::Upstream, rng.gen_range(40..90)));
+        }
+    }
+    out
+}
+
+/// Synthesizes the whole-session volumetric series at fleet fidelity:
+/// launch slots from the signature's expectations, gameplay slots from the
+/// plan.
+fn synth_vol(
+    signature: &LaunchSignature,
+    settings: &StreamSettings,
+    plan: &GameplayPlan,
+    rng: &mut StdRng,
+) -> VolSeries {
+    let subs_per_sec = (MICROS_PER_SEC / SUBSLOT) as usize;
+    let mut samples = Vec::new();
+    for sec in 0..signature.duration_secs() {
+        let (bytes, pkts) = signature.slot_expectation(sec, settings);
+        for _ in 0..subs_per_sec {
+            let noise: f64 = rng.gen_range(0.9..1.1);
+            let down_pkts = (pkts / subs_per_sec as f64 * noise).round() as u64;
+            samples.push(VolSample {
+                down_bytes: ((bytes / subs_per_sec as f64 + 54.0 * down_pkts as f64) * noise)
+                    as u64,
+                down_pkts,
+                up_bytes: rng.gen_range(50..150),
+                up_pkts: rng.gen_range(0..=1),
+            });
+        }
+    }
+    samples.extend(plan.to_vol_samples(rng));
+    VolSeries::from_samples(samples, 0, SUBSLOT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_domain::{GameTitle, Stage};
+
+    fn config(fidelity: Fidelity) -> SessionConfig {
+        SessionConfig {
+            kind: TitleKind::Known(GameTitle::CsGo),
+            settings: StreamSettings::default_pc(),
+            gameplay_secs: 120.0,
+            fidelity,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn full_packets_session_is_consistent() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::FullPackets));
+        assert!(!s.packets.is_empty());
+        // Vol covers the whole session.
+        let expected_subs = (s.duration() / SUBSLOT) as usize;
+        assert!(s.vol.len() >= expected_subs - 2 && s.vol.len() <= expected_subs + 2);
+        // Packet trace spans launch + gameplay.
+        let last = s.packets.last().unwrap().ts;
+        assert!(last > s.duration() - 2 * MICROS_PER_SEC);
+    }
+
+    #[test]
+    fn launch_only_session_has_short_trace_full_vol() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::LaunchOnly));
+        let launch_end = s.stages()[0].end;
+        assert!(s.packets.last().unwrap().ts < launch_end + MICROS_PER_SEC);
+        let expected_subs = (s.duration() / SUBSLOT) as usize;
+        assert!(
+            s.vol.len() >= expected_subs - 2,
+            "vol {} < {}",
+            s.vol.len(),
+            expected_subs
+        );
+    }
+
+    #[test]
+    fn same_seed_same_session() {
+        let mut g1 = SessionGenerator::new();
+        let mut g2 = SessionGenerator::new();
+        let a = g1.generate(&config(Fidelity::FullPackets));
+        let b = g2.generate(&config(Fidelity::FullPackets));
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.vol, b.vol);
+        assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut g = SessionGenerator::new();
+        let a = g.generate(&config(Fidelity::FullPackets));
+        let b = g.generate(&SessionConfig {
+            seed: 43,
+            ..config(Fidelity::FullPackets)
+        });
+        assert_ne!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn fidelities_agree_on_volumetrics() {
+        let mut g = SessionGenerator::new();
+        let full = g.generate(&config(Fidelity::FullPackets));
+        let fleet = g.generate(&config(Fidelity::LaunchOnly));
+        // Compare mean downstream Mbps over gameplay within 20 %.
+        let launch_end_sub = (full.stages()[0].end / SUBSLOT) as usize;
+        let mean = |v: &VolSeries| {
+            let s = &v.samples[launch_end_sub..v.samples.len().min(fleet.vol.len())];
+            s.iter().map(|x| x.down_bytes).sum::<u64>() as f64 / s.len() as f64
+        };
+        let ratio = mean(&full.vol) / mean(&fleet.vol);
+        assert!((0.8..1.25).contains(&ratio), "fidelity vol ratio {ratio}");
+    }
+
+    #[test]
+    fn vol_at_rebins() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::LaunchOnly));
+        let v1 = s.vol_at(MICROS_PER_SEC);
+        assert_eq!(v1.width, MICROS_PER_SEC);
+        assert!(v1.len() <= s.vol.len() / 10 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the native")]
+    fn vol_at_rejects_non_multiples() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::LaunchOnly));
+        let _ = s.vol_at(150_000);
+    }
+
+    #[test]
+    fn launch_window_filters_by_time() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::LaunchOnly));
+        let w = s.launch_window(5.0);
+        assert!(!w.is_empty());
+        assert!(w.iter().all(|p| p.ts < 5_000_000));
+        assert!(w.len() < s.packets.len());
+    }
+
+    #[test]
+    fn ids_increment() {
+        let mut g = SessionGenerator::new();
+        let a = g.generate(&config(Fidelity::LaunchOnly));
+        let b = g.generate(&config(Fidelity::LaunchOnly));
+        assert_eq!(a.id + 1, b.id);
+    }
+
+    #[test]
+    fn truth_fps_is_plausible() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::LaunchOnly));
+        assert!((20.0..=60.5).contains(&s.truth_fps), "fps {}", s.truth_fps);
+    }
+
+    #[test]
+    fn timeline_starts_with_launch_and_has_gameplay() {
+        let mut g = SessionGenerator::new();
+        let s = g.generate(&config(Fidelity::FullPackets));
+        assert_eq!(s.stages()[0].stage, Stage::Launch);
+        assert!(s.stages().len() > 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use cgc_domain::{ActivityPattern, GameTitle};
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = TitleKind> {
+        prop_oneof![
+            (0usize..13).prop_map(|i| TitleKind::Known(GameTitle::ALL[i])),
+            (0u32..50, any::<bool>()).prop_map(|(variant, sp)| TitleKind::Other {
+                pattern: if sp {
+                    ActivityPattern::SpectateAndPlay
+                } else {
+                    ActivityPattern::ContinuousPlay
+                },
+                variant,
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every generated session satisfies the structural invariants:
+        /// contiguous timeline starting with launch, volumetrics covering
+        /// the full duration, sorted packets confined to the session span.
+        #[test]
+        fn sessions_are_structurally_sound(
+            kind in arb_kind(),
+            gameplay in 30.0f64..300.0,
+            seed in any::<u64>(),
+        ) {
+            let mut generator = SessionGenerator::new();
+            let s = generator.generate(&SessionConfig {
+                kind,
+                settings: StreamSettings::default_pc(),
+                gameplay_secs: gameplay,
+                fidelity: Fidelity::LaunchOnly,
+                seed,
+            });
+            // Timeline.
+            prop_assert_eq!(s.stages()[0].stage, cgc_domain::Stage::Launch);
+            for w in s.stages().windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            // Volumetrics cover the session (±2 subslots of rounding).
+            let expected = (s.duration() / SUBSLOT) as usize;
+            prop_assert!(s.vol.len() + 2 >= expected && s.vol.len() <= expected + 2);
+            // Packets sorted and inside the session (plus bounded jitter).
+            prop_assert!(s.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+            let last = s.packets.last().map(|p| p.ts).unwrap_or(0);
+            prop_assert!(last <= s.duration() + 5_000_000);
+            // Gameplay traffic exists.
+            let bytes: u64 = s.vol.samples.iter().map(|x| x.down_bytes).sum();
+            prop_assert!(bytes > 0);
+        }
+
+        /// The same config always reproduces the identical session.
+        #[test]
+        fn generation_is_deterministic(kind in arb_kind(), seed in any::<u64>()) {
+            let cfg = SessionConfig {
+                kind,
+                settings: StreamSettings::default_pc(),
+                gameplay_secs: 60.0,
+                fidelity: Fidelity::LaunchOnly,
+                seed,
+            };
+            let a = SessionGenerator::new().generate(&cfg);
+            let b = SessionGenerator::new().generate(&cfg);
+            prop_assert_eq!(a.packets, b.packets);
+            prop_assert_eq!(a.vol, b.vol);
+            prop_assert_eq!(a.timeline, b.timeline);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Variation-based data augmentation (§4.4).
+//!
+//! The paper augments its dataset "by synthesizing packet data with
+//! randomly varied sizes and arrival times based on the original
+//! ground-truth data, especially for classes with fewer samples". In
+//! feature space that corresponds to multiplicative jitter on the derived
+//! attributes; [`augment_to_balance`] additionally oversamples minority
+//! classes to a common per-class count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Dataset;
+
+/// Appends `factor − 1` jittered variants of every sample (so the output is
+/// `factor ×` the input size). Each feature is scaled by an independent
+/// `1 ± rel_noise` factor.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn augment_multiply(data: &Dataset, factor: usize, rel_noise: f64, seed: u64) -> Dataset {
+    assert!(factor > 0, "factor must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = data.clone();
+    for _ in 1..factor {
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            out.x.push(jitter(row, rel_noise, &mut rng));
+            out.y.push(label);
+        }
+    }
+    out
+}
+
+/// Oversamples every class to `per_class` samples by adding jittered
+/// variants of randomly chosen existing samples of that class. Classes that
+/// already have `per_class` or more samples are left untouched.
+pub fn augment_to_balance(data: &Dataset, per_class: usize, rel_noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = data.clone();
+    for class in 0..data.n_classes {
+        let idx = data.class_indices(class);
+        if idx.is_empty() {
+            continue;
+        }
+        let mut have = idx.len();
+        while have < per_class {
+            let &src = &idx[rng.gen_range(0..idx.len())];
+            out.x.push(jitter(&data.x[src], rel_noise, &mut rng));
+            out.y.push(class);
+            have += 1;
+        }
+    }
+    out
+}
+
+fn jitter(row: &[f64], rel_noise: f64, rng: &mut StdRng) -> Vec<f64> {
+    row.iter()
+        .map(|v| v * (1.0 + rng.gen_range(-rel_noise..=rel_noise)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![10.0, 20.0], vec![30.0, 40.0], vec![50.0, 60.0]],
+            vec![0, 0, 1],
+        )
+    }
+
+    #[test]
+    fn multiply_scales_size_and_keeps_labels() {
+        let d = toy();
+        let a = augment_multiply(&d, 3, 0.1, 1);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.y.iter().filter(|&&y| y == 0).count(), 6);
+        // Originals preserved verbatim at the front.
+        assert_eq!(a.x[..3], d.x[..]);
+        // Variants stay within the noise band.
+        for (row, orig) in a.x[3..].iter().zip(d.x.iter().cycle()) {
+            for (v, o) in row.iter().zip(orig) {
+                assert!((v - o).abs() <= o * 0.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let d = toy();
+        let a = augment_multiply(&d, 1, 0.2, 5);
+        assert_eq!(a.x, d.x);
+        assert_eq!(a.y, d.y);
+    }
+
+    #[test]
+    fn balance_fills_minority_class() {
+        let d = toy(); // class 0: 2 samples, class 1: 1 sample
+        let a = augment_to_balance(&d, 5, 0.05, 2);
+        assert_eq!(a.class_indices(0).len(), 5);
+        assert_eq!(a.class_indices(1).len(), 5);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn balance_leaves_majority_untouched() {
+        let d = toy();
+        let a = augment_to_balance(&d, 2, 0.05, 3);
+        assert_eq!(a.class_indices(0).len(), 2);
+        assert_eq!(a.class_indices(1).len(), 2);
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let d = toy();
+        assert_eq!(
+            augment_multiply(&d, 4, 0.1, 7).x,
+            augment_multiply(&d, 4, 0.1, 7).x
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Datasets, splits and cross-validation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset of dense feature vectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix, row per sample.
+    pub x: Vec<Vec<f64>>,
+    /// Class ids, one per sample, in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of classes (may exceed `max(y)+1` if some classes have no
+    /// samples in this split).
+    pub n_classes: usize,
+    /// Feature names; empty means unnamed.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, inferring `n_classes` as `max(y)+1`.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or rows have inconsistent
+    /// widths.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        if let Some(w) = x.first().map(Vec::len) {
+            assert!(x.iter().all(|r| r.len() == w), "ragged feature matrix");
+        }
+        let n_classes = y.iter().max().map_or(0, |m| m + 1);
+        Dataset {
+            x,
+            y,
+            n_classes,
+            feature_names: Vec::new(),
+        }
+    }
+
+    /// Attaches feature names (builder style).
+    ///
+    /// # Panics
+    /// Panics if the name count does not match the feature count.
+    pub fn with_feature_names(mut self, names: Vec<String>) -> Dataset {
+        assert_eq!(names.len(), self.n_features(), "name/feature mismatch");
+        self.feature_names = names;
+        self
+    }
+
+    /// Overrides the class count (when labels beyond the observed maximum
+    /// exist).
+    pub fn with_n_classes(mut self, n: usize) -> Dataset {
+        assert!(n > self.y.iter().max().map_or(0, |m| *m));
+        self.n_classes = n;
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features per sample (0 when empty).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Appends another dataset with the same schema.
+    ///
+    /// # Panics
+    /// Panics on schema mismatch.
+    pub fn extend(&mut self, other: Dataset) {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(self.n_features(), other.n_features(), "schema mismatch");
+        }
+        self.x.extend(other.x);
+        self.y.extend(other.y);
+        self.n_classes = self.n_classes.max(other.n_classes);
+    }
+
+    /// Samples of one class.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.y[i] == class).collect()
+    }
+
+    /// Subset by sample indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Stratified train/test split: each class contributes `test_frac` of
+    /// its samples (rounded down, at least one when it has ≥ 2 samples) to
+    /// the test set.
+    pub fn stratified_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac in [0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in 0..self.n_classes {
+            let mut idx = self.class_indices(class);
+            idx.shuffle(&mut rng);
+            let mut n_test = (idx.len() as f64 * test_frac) as usize;
+            if n_test == 0 && idx.len() >= 2 && test_frac > 0.0 {
+                n_test = 1;
+            }
+            test_idx.extend_from_slice(&idx[..n_test]);
+            train_idx.extend_from_slice(&idx[n_test..]);
+        }
+        train_idx.shuffle(&mut rng);
+        test_idx.shuffle(&mut rng);
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Stratified k-fold indices: returns `k` (train, test) index pairs.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "need at least 2 folds");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Assign each sample a fold, stratified per class.
+        let mut fold_of = vec![0usize; self.len()];
+        for class in 0..self.n_classes {
+            let mut idx = self.class_indices(class);
+            idx.shuffle(&mut rng);
+            for (j, &i) in idx.iter().enumerate() {
+                fold_of[i] = j % k;
+            }
+        }
+        (0..k)
+            .map(|f| {
+                let test: Vec<usize> = (0..self.len()).filter(|&i| fold_of[i] == f).collect();
+                let train: Vec<usize> = (0..self.len()).filter(|&i| fold_of[i] != f).collect();
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize, n_classes: usize) -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..n_classes {
+            for i in 0..n_per_class {
+                x.push(vec![c as f64, i as f64]);
+                y.push(c);
+            }
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn new_infers_classes() {
+        let d = toy(5, 3);
+        assert_eq!(d.n_classes, 3);
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.n_features(), 2);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let d = toy(10, 4);
+        let (train, test) = d.stratified_split(0.3, 7);
+        assert_eq!(train.len() + test.len(), d.len());
+        for c in 0..4 {
+            assert_eq!(test.class_indices(c).len(), 3);
+            assert_eq!(train.class_indices(c).len(), 7);
+        }
+    }
+
+    #[test]
+    fn split_gives_every_class_a_test_sample() {
+        let d = toy(3, 5);
+        let (_, test) = d.stratified_split(0.1, 1);
+        for c in 0..5 {
+            assert!(!test.class_indices(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(8, 2);
+        let (a, _) = d.stratified_split(0.25, 9);
+        let (b, _) = d.stratified_split(0.25, 9);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn k_folds_partition_all_samples() {
+        let d = toy(9, 3);
+        let folds = d.k_folds(3, 2);
+        assert_eq!(folds.len(), 3);
+        let mut seen = vec![0; d.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        // Each sample appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = toy(2, 2);
+        let b = toy(3, 3);
+        a.extend(b);
+        assert_eq!(a.len(), 13);
+        assert_eq!(a.n_classes, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "x/y length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature matrix")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn feature_names_roundtrip() {
+        let d = toy(2, 2).with_feature_names(vec!["a".into(), "b".into()]);
+        assert_eq!(d.feature_names, vec!["a", "b"]);
+    }
+}
+
+/// Mean k-fold cross-validated accuracy of a model family: `fit` builds a
+/// model from each fold's training subset, which is then scored on the
+/// held-out fold — the model-selection procedure behind the paper's
+/// hyperparameter sweeps (Appendix C).
+pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, mut fit: F) -> f64
+where
+    C: crate::Classifier,
+    F: FnMut(&Dataset) -> C,
+{
+    let folds = data.k_folds(k, seed);
+    let mut acc_sum = 0.0;
+    for (train_idx, test_idx) in &folds {
+        let train = data.subset(train_idx);
+        let test = data.subset(test_idx);
+        let model = fit(&train);
+        let preds = model.predict_batch(&test.x);
+        acc_sum += crate::metrics::accuracy(&test.y, &preds);
+    }
+    acc_sum / folds.len() as f64
+}
+
+#[cfg(test)]
+mod cv_tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cross_validation_scores_separable_data_high() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..120 {
+            let c = rng.gen_range(0..2usize);
+            x.push(vec![c as f64 * 3.0 + rng.gen_range(-1.0..1.0)]);
+            y.push(c);
+        }
+        let data = Dataset::new(x, y);
+        let acc = cross_validate(&data, 5, 3, |train| {
+            RandomForest::fit(
+                train,
+                &RandomForestConfig {
+                    n_trees: 10,
+                    ..Default::default()
+                },
+            )
+        });
+        assert!(acc > 0.9, "cv accuracy {acc}");
+    }
+
+    #[test]
+    fn cross_validation_scores_random_labels_low() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Dataset::new(
+            (0..100).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect(),
+            (0..100).map(|_| rng.gen_range(0..2)).collect(),
+        );
+        let acc = cross_validate(&data, 4, 5, |train| {
+            RandomForest::fit(
+                train,
+                &RandomForestConfig {
+                    n_trees: 10,
+                    ..Default::default()
+                },
+            )
+        });
+        assert!((0.25..0.75).contains(&acc), "cv accuracy {acc}");
+    }
+}

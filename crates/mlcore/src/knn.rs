@@ -1,0 +1,178 @@
+//! k-nearest-neighbours classification.
+//!
+//! Brute-force search over the stored training set with Euclidean or
+//! Manhattan distance (the two Fig. 14 sweep options). Probabilities are
+//! neighbour vote fractions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// Distance metric between feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// L2 distance.
+    Euclidean,
+    /// L1 distance.
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Distance between two equal-length vectors.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+        }
+    }
+}
+
+/// A fitted (memorized) KNN classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Knn {
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+    /// Neighbour count.
+    pub k: usize,
+    /// Distance metric.
+    pub metric: DistanceMetric,
+}
+
+impl Knn {
+    /// Memorizes the training set.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the dataset is empty.
+    pub fn fit(data: &Dataset, k: usize, metric: DistanceMetric) -> Knn {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        Knn {
+            x: data.x.clone(),
+            y: data.y.clone(),
+            n_classes: data.n_classes,
+            k,
+            metric,
+        }
+    }
+
+    /// The indices of the `k` nearest training samples.
+    fn neighbours(&self, x: &[f64]) -> Vec<usize> {
+        let mut dist: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| (self.metric.eval(xi, x), i))
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        dist.truncate(k);
+        dist.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+impl Classifier for Knn {
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let nb = self.neighbours(x);
+        let mut votes = vec![0.0f64; self.n_classes];
+        for i in &nb {
+            votes[self.y[*i]] += 1.0;
+        }
+        let total = nb.len() as f64;
+        for v in &mut votes {
+            *v /= total;
+        }
+        votes
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(0.0, 0.0), (5.0, 5.0)];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c = rng.gen_range(0..2);
+            x.push(vec![
+                centers[c].0 + rng.gen_range(-1.0..1.0),
+                centers[c].1 + rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(c);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_points() {
+        let d = blobs(1, 50);
+        let knn = Knn::fit(&d, 1, DistanceMetric::Euclidean);
+        for i in 0..d.len() {
+            assert_eq!(knn.predict(&d.x[i]), d.y[i]);
+        }
+    }
+
+    #[test]
+    fn k_majority_vote() {
+        // Three points of class 0 near origin, one of class 1.
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![0.2], vec![0.15]],
+            vec![0, 0, 0, 1],
+        );
+        let knn = Knn::fit(&d, 3, DistanceMetric::Euclidean);
+        assert_eq!(knn.predict(&[0.12]), 0);
+        let p = knn.predict_proba(&[0.12]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_differ() {
+        // Point at (3,4): Euclidean 5 from origin, Manhattan 7.
+        assert_eq!(
+            DistanceMetric::Euclidean.eval(&[0.0, 0.0], &[3.0, 4.0]),
+            5.0
+        );
+        assert_eq!(
+            DistanceMetric::Manhattan.eval(&[0.0, 0.0], &[3.0, 4.0]),
+            7.0
+        );
+    }
+
+    #[test]
+    fn generalizes_on_blobs() {
+        let train = blobs(2, 200);
+        let test = blobs(3, 80);
+        let knn = Knn::fit(&train, 5, DistanceMetric::Euclidean);
+        let acc = crate::metrics::accuracy(&test.y, &knn.predict_batch(&test.x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1]);
+        let knn = Knn::fit(&d, 100, DistanceMetric::Manhattan);
+        let p = knn.predict_proba(&[0.4]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Knn::fit(&blobs(4, 10), 0, DistanceMetric::Euclidean);
+    }
+}

@@ -1,0 +1,92 @@
+//! # mlcore — from-scratch statistical machine learning
+//!
+//! The paper's classifiers are classical models — Random Forest, SVM and
+//! KNN — evaluated with accuracy/confusion metrics, permutation importance
+//! and variation-based data augmentation (§4.4, Appendix C). The Rust ML
+//! ecosystem being thin, this crate implements all of it directly:
+//!
+//! * [`tree`] — CART decision trees (Gini impurity, depth/min-split limits,
+//!   per-split random feature subsampling).
+//! * [`forest`] — Random Forests: bootstrap bagging over CART trees,
+//!   majority vote and vote-fraction probabilities.
+//! * [`svm`] — kernel SVMs trained with (simplified) SMO, linear and RBF
+//!   kernels, one-vs-rest multiclass.
+//! * [`knn`] — brute-force k-nearest-neighbours with Euclidean or
+//!   Manhattan distances.
+//! * [`data`] — datasets, stratified train/test splits, k-fold CV.
+//! * [`metrics`] — accuracy, confusion matrices, per-class precision /
+//!   recall / F1.
+//! * [`importance`] — permutation importance (Breiman 2001), the metric
+//!   behind the paper's Fig. 9 and Table 5.
+//! * [`augment`] — variation-based augmentation for under-represented
+//!   classes.
+//! * [`scale`] — standard (z-score) feature scaling for SVM/KNN.
+//!
+//! Models implement the common [`Classifier`] trait so the evaluation
+//! harness can sweep them interchangeably. Everything is deterministic
+//! under a caller-provided seed.
+//!
+//! ```
+//! use mlcore::{Classifier, Dataset, RandomForest, RandomForestConfig};
+//!
+//! // Two separable classes in one dimension.
+//! let data = Dataset::new(
+//!     vec![vec![0.1], vec![0.2], vec![0.9], vec![1.0]],
+//!     vec![0, 0, 1, 1],
+//! );
+//! let forest = RandomForest::fit(&data, &RandomForestConfig {
+//!     n_trees: 10,
+//!     ..Default::default()
+//! });
+//! assert_eq!(forest.predict(&[0.15]), 0);
+//! assert_eq!(forest.predict(&[0.95]), 1);
+//! let proba = forest.predict_proba(&[0.95]);
+//! assert!(proba[1] > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod data;
+pub mod forest;
+pub mod importance;
+pub mod knn;
+pub mod metrics;
+pub mod scale;
+pub mod svm;
+pub mod tree;
+
+pub use data::{cross_validate, Dataset};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use importance::permutation_importance;
+pub use knn::{DistanceMetric, Knn};
+pub use metrics::{accuracy, ConfusionMatrix};
+pub use scale::StandardScaler;
+pub use svm::{Kernel, SvmConfig, SvmOvr};
+pub use tree::DecisionTree;
+
+/// A trained multi-class classifier over dense `f64` feature vectors.
+pub trait Classifier {
+    /// Predicted class id for one sample.
+    fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Class-probability (or normalized score) vector for one sample; the
+    /// maximum entry is the model's confidence, which the pipeline
+    /// thresholds to emit "unknown".
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+
+    /// Batch prediction.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}

@@ -1,0 +1,194 @@
+//! Classification metrics: accuracy, confusion matrices, per-class scores.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions matching the truth (0 for empty input).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
+}
+
+/// A confusion matrix: `m[truth][pred]` counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or labels ≥ `n_classes`.
+    pub fn from_pairs(n_classes: usize, truth: &[usize], pred: &[usize]) -> ConfusionMatrix {
+        assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { n_classes, counts }
+    }
+
+    /// Count of samples with truth `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of a class (a.k.a. the paper's per-class "accuracy": the
+    /// fraction of that class's sessions classified correctly). 0 when the
+    /// class has no samples.
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / row as f64
+        }
+    }
+
+    /// Precision of a class; 0 when it was never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: usize = (0..self.n_classes).map(|t| self.counts[t][class]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / col as f64
+        }
+    }
+
+    /// F1 score of a class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class recalls (macro recall).
+    pub fn macro_recall(&self) -> f64 {
+        let with_samples: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if with_samples.is_empty() {
+            return 0.0;
+        }
+        with_samples.iter().map(|&c| self.recall(c)).sum::<f64>() / with_samples.len() as f64
+    }
+
+    /// Renders the matrix as an aligned text table with the given class
+    /// names (truncated/padded to the class count).
+    pub fn render(&self, class_names: &[&str]) -> String {
+        let name = |i: usize| class_names.get(i).copied().unwrap_or("?");
+        let width = (0..self.n_classes)
+            .map(|i| name(i).len())
+            .max()
+            .unwrap_or(1)
+            .max(6);
+        let mut out = format!("{:>width$} |", "t\\p");
+        for p in 0..self.n_classes {
+            out += &format!(" {:>width$}", name(p));
+        }
+        out += "\n";
+        for t in 0..self.n_classes {
+            out += &format!("{:>width$} |", name(t));
+            for p in 0..self.n_classes {
+                out += &format!(" {:>width$}", self.counts[t][p]);
+            }
+            out += "\n";
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [0, 1, 1, 1, 2, 0];
+        let m = ConfusionMatrix::from_pairs(3, &truth, &pred);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 1), 2);
+        assert_eq!(m.get(2, 0), 1);
+        assert_eq!(m.total(), 6);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_scores() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let m = ConfusionMatrix::from_pairs(2, &truth, &pred);
+        assert_eq!(m.recall(0), 0.5);
+        assert_eq!(m.recall(1), 1.0);
+        assert_eq!(m.precision(0), 1.0);
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = m.f1(1);
+        assert!((f1 - 0.8).abs() < 1e-12);
+        assert!((m.macro_recall() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_scores_are_zero() {
+        let m = ConfusionMatrix::from_pairs(3, &[0], &[0]);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+        // Macro recall ignores classes without samples.
+        assert_eq!(m.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let m = ConfusionMatrix::from_pairs(2, &[0, 1, 1], &[0, 1, 0]);
+        let s = m.render(&["cat", "dog"]);
+        assert!(s.contains("cat"));
+        assert!(s.contains("dog"));
+        assert!(s.lines().count() == 3);
+    }
+}

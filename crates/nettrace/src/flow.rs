@@ -1,0 +1,216 @@
+//! Flow bookkeeping: five-tuple keyed, per-direction volumetric counters.
+//!
+//! An ISP-side monitor keeps a flow table keyed by normalized five-tuple.
+//! [`FlowStats`] accumulates exactly the volumetric quantities the paper's
+//! stage classifier consumes (packets and bytes per direction) plus the
+//! metadata the cloud-gaming filter inspects (ports, mean downstream packet
+//! size, packet-rate signature).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{Direction, FiveTuple, Packet};
+use crate::units::{bytes_to_mbps, Micros};
+
+/// Normalized five-tuple used as a flow-table key.
+pub type FlowKey = FiveTuple;
+
+/// Per-flow accumulated statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Downstream packet count.
+    pub down_pkts: u64,
+    /// Upstream packet count.
+    pub up_pkts: u64,
+    /// Downstream wire bytes (headers included).
+    pub down_bytes: u64,
+    /// Upstream wire bytes.
+    pub up_bytes: u64,
+    /// Timestamp of the first observed packet.
+    pub first_ts: Option<Micros>,
+    /// Timestamp of the most recent packet.
+    pub last_ts: Option<Micros>,
+    /// Largest downstream payload seen — the "full packet" size candidate.
+    pub max_down_payload: u32,
+}
+
+impl FlowStats {
+    /// Folds one packet into the counters.
+    pub fn update(&mut self, pkt: &Packet) {
+        match pkt.dir {
+            Direction::Downstream => {
+                self.down_pkts += 1;
+                self.down_bytes += u64::from(pkt.wire_len());
+                self.max_down_payload = self.max_down_payload.max(pkt.payload_len);
+            }
+            Direction::Upstream => {
+                self.up_pkts += 1;
+                self.up_bytes += u64::from(pkt.wire_len());
+            }
+        }
+        if self.first_ts.is_none() {
+            self.first_ts = Some(pkt.ts);
+        }
+        self.last_ts = Some(self.last_ts.map_or(pkt.ts, |t| t.max(pkt.ts)));
+    }
+
+    /// Flow lifetime in microseconds (0 before two packets arrive).
+    pub fn duration(&self) -> Micros {
+        match (self.first_ts, self.last_ts) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        }
+    }
+
+    /// Average downstream throughput over the flow lifetime, in Mbps.
+    pub fn down_mbps(&self) -> f64 {
+        bytes_to_mbps(self.down_bytes, self.duration())
+    }
+
+    /// Average upstream throughput over the flow lifetime, in Mbps.
+    pub fn up_mbps(&self) -> f64 {
+        bytes_to_mbps(self.up_bytes, self.duration())
+    }
+
+    /// Average downstream packet rate over the flow lifetime, in pkts/s.
+    pub fn down_pps(&self) -> f64 {
+        let d = self.duration();
+        if d == 0 {
+            0.0
+        } else {
+            self.down_pkts as f64 / (d as f64 / 1e6)
+        }
+    }
+
+    /// Total packets in both directions.
+    pub fn total_pkts(&self) -> u64 {
+        self.down_pkts + self.up_pkts
+    }
+}
+
+/// A flow table mapping normalized five-tuples to accumulated statistics.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowStats>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a packet observed on `tuple` (any orientation).
+    pub fn observe(&mut self, tuple: &FiveTuple, pkt: &Packet) {
+        self.flows
+            .entry(tuple.normalized())
+            .or_default()
+            .update(pkt);
+    }
+
+    /// Looks up a flow by tuple (any orientation).
+    pub fn get(&self, tuple: &FiveTuple) -> Option<&FlowStats> {
+        self.flows.get(&tuple.normalized())
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterates over `(key, stats)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Removes flows idle since before `cutoff` (standard monitor eviction),
+    /// returning how many were evicted.
+    pub fn evict_idle(&mut self, cutoff: Micros) -> usize {
+        let before = self.flows.len();
+        self.flows
+            .retain(|_, s| s.last_ts.is_some_and(|t| t >= cutoff));
+        before - self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::WIRE_OVERHEAD;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::udp_v4([10, 0, 0, 1], 49003, [192, 168, 1, 5], 50123)
+    }
+
+    #[test]
+    fn update_accumulates_both_directions() {
+        let mut s = FlowStats::default();
+        s.update(&Packet::new(0, Direction::Downstream, 1432));
+        s.update(&Packet::new(1_000_000, Direction::Upstream, 60));
+        assert_eq!(s.down_pkts, 1);
+        assert_eq!(s.up_pkts, 1);
+        assert_eq!(s.down_bytes, (1432 + WIRE_OVERHEAD) as u64);
+        assert_eq!(s.max_down_payload, 1432);
+        assert_eq!(s.duration(), 1_000_000);
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut s = FlowStats::default();
+        // 1000 packets of 946-byte payload over exactly one second:
+        // 1000 * (946+54) bytes = 1 MB -> 8 Mbps.
+        for i in 0..1000u64 {
+            s.update(&Packet::new(i * 1001, Direction::Downstream, 946));
+        }
+        s.update(&Packet::new(1_000_000, Direction::Upstream, 0));
+        assert!((s.down_mbps() - 8.0).abs() < 0.01);
+        assert!((s.down_pps() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_packet_flow_has_zero_rates() {
+        let mut s = FlowStats::default();
+        s.update(&Packet::new(5, Direction::Downstream, 100));
+        assert_eq!(s.duration(), 0);
+        assert_eq!(s.down_mbps(), 0.0);
+        assert_eq!(s.down_pps(), 0.0);
+    }
+
+    #[test]
+    fn table_merges_directions_under_one_key() {
+        let mut table = FlowTable::new();
+        table.observe(&tuple(), &Packet::new(0, Direction::Downstream, 1432));
+        table.observe(
+            &tuple().reversed(),
+            &Packet::new(10, Direction::Upstream, 60),
+        );
+        assert_eq!(table.len(), 1);
+        let s = table.get(&tuple()).unwrap();
+        assert_eq!(s.total_pkts(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_idle_flows() {
+        let mut table = FlowTable::new();
+        table.observe(&tuple(), &Packet::new(0, Direction::Downstream, 100));
+        let other = FiveTuple::udp_v4([10, 0, 0, 2], 1, [192, 168, 1, 5], 2);
+        table.observe(&other, &Packet::new(10_000_000, Direction::Downstream, 100));
+        assert_eq!(table.evict_idle(5_000_000), 1);
+        assert_eq!(table.len(), 1);
+        assert!(table.get(&tuple()).is_none());
+        assert!(table.get(&other).is_some());
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = FlowTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.iter().count(), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Network impairment channel for fault injection.
+//!
+//! The paper's parameters (N, T, V, I, α) were tuned on clean lab traffic
+//! and §4.4.1 notes that degraded networks shift them; the deployment also
+//! needs genuinely bad sessions to exercise QoE labeling. This module
+//! applies configurable delay, jitter, random/bursty loss and token-bucket
+//! rate limiting to a packet sequence — the same fault-injection knobs the
+//! smoltcp example harness exposes (`--drop-chance`, `--tx-rate-limit`, …).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::Packet;
+use crate::units::{Micros, MICROS_PER_SEC};
+
+/// Packet loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LossModel {
+    /// No loss.
+    #[default]
+    None,
+    /// Independent (Bernoulli) loss with the given probability.
+    Iid {
+        /// Per-packet drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott burst loss: in the *good* state packets
+    /// pass, in the *bad* state they drop with probability `p_bad`.
+    Burst {
+        /// Probability of moving good → bad per packet.
+        p_enter: f64,
+        /// Probability of moving bad → good per packet.
+        p_exit: f64,
+        /// Drop probability while in the bad state.
+        p_bad: f64,
+    },
+}
+
+
+/// Configuration of the impairment channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpairmentConfig {
+    /// Fixed one-way delay added to every packet, microseconds.
+    pub base_delay: Micros,
+    /// Maximum additional uniform jitter per packet, microseconds.
+    /// Jitter may reorder packets (consumers sort by timestamp).
+    pub jitter: Micros,
+    /// Loss model.
+    pub loss: LossModel,
+    /// Optional downstream rate cap in bytes/second enforced with a token
+    /// bucket of one second's depth; non-conforming packets are dropped
+    /// (models a congested access link starving the stream).
+    pub rate_limit_bytes_per_sec: Option<u64>,
+    /// RNG seed so impaired traces are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ImpairmentConfig {
+    fn default() -> Self {
+        ImpairmentConfig {
+            base_delay: 0,
+            jitter: 0,
+            loss: LossModel::None,
+            rate_limit_bytes_per_sec: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ImpairmentConfig {
+    /// A clean channel (identity transform).
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A "poor network" preset used by the deployment simulator: high
+    /// delay/jitter, bursty loss, and a rate cap well below cloud-gaming
+    /// demand — the kind of session the observability platform should flag
+    /// as genuinely degraded.
+    pub fn poor_network(seed: u64) -> Self {
+        ImpairmentConfig {
+            base_delay: 70_000, // 70 ms: the paper's "large game streaming lag" marker
+            jitter: 25_000,
+            loss: LossModel::Burst {
+                p_enter: 0.02,
+                p_exit: 0.3,
+                p_bad: 0.5,
+            },
+            rate_limit_bytes_per_sec: Some(600_000), // ~4.8 Mbps, below the 8 Mbps bad-QoE bar
+            seed,
+        }
+    }
+}
+
+/// Stateful impairment channel.
+#[derive(Debug)]
+pub struct Impairment {
+    cfg: ImpairmentConfig,
+    rng: StdRng,
+    in_bad_state: bool,
+    bucket_tokens: f64,
+    bucket_last_ts: Option<Micros>,
+}
+
+impl Impairment {
+    /// Builds a channel from a configuration.
+    pub fn new(cfg: ImpairmentConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let depth = cfg.rate_limit_bytes_per_sec.unwrap_or(0) as f64;
+        Impairment {
+            cfg,
+            rng,
+            in_bad_state: false,
+            bucket_tokens: depth,
+            bucket_last_ts: None,
+        }
+    }
+
+    /// Applies the channel to one packet; `None` means dropped.
+    pub fn apply(&mut self, pkt: &Packet) -> Option<Packet> {
+        if self.lost() {
+            return None;
+        }
+        if let Some(rate) = self.cfg.rate_limit_bytes_per_sec {
+            if !self.conforms(pkt, rate) {
+                return None;
+            }
+        }
+        let mut out = *pkt;
+        let jitter = if self.cfg.jitter > 0 {
+            self.rng.gen_range(0..=self.cfg.jitter)
+        } else {
+            0
+        };
+        out.ts = out.ts.saturating_add(self.cfg.base_delay + jitter);
+        Some(out)
+    }
+
+    /// Applies the channel to a whole trace, preserving arrival order of
+    /// survivors (timestamps may be non-monotonic under jitter).
+    pub fn apply_all(&mut self, packets: &[Packet]) -> Vec<Packet> {
+        packets.iter().filter_map(|p| self.apply(p)).collect()
+    }
+
+    fn lost(&mut self) -> bool {
+        match self.cfg.loss {
+            LossModel::None => false,
+            LossModel::Iid { p } => self.rng.gen_bool(p.clamp(0.0, 1.0)),
+            LossModel::Burst {
+                p_enter,
+                p_exit,
+                p_bad,
+            } => {
+                if self.in_bad_state {
+                    if self.rng.gen_bool(p_exit.clamp(0.0, 1.0)) {
+                        self.in_bad_state = false;
+                    }
+                } else if self.rng.gen_bool(p_enter.clamp(0.0, 1.0)) {
+                    self.in_bad_state = true;
+                }
+                self.in_bad_state && self.rng.gen_bool(p_bad.clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    fn conforms(&mut self, pkt: &Packet, rate: u64) -> bool {
+        let depth = rate as f64; // one second of burst
+        if let Some(last) = self.bucket_last_ts {
+            let elapsed = pkt.ts.saturating_sub(last) as f64 / MICROS_PER_SEC as f64;
+            self.bucket_tokens = (self.bucket_tokens + elapsed * rate as f64).min(depth);
+        }
+        self.bucket_last_ts = Some(pkt.ts);
+        let need = f64::from(pkt.wire_len());
+        if self.bucket_tokens >= need {
+            self.bucket_tokens -= need;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Direction;
+
+    fn trace(n: u64, gap_us: u64, len: u32) -> Vec<Packet> {
+        (0..n)
+            .map(|i| Packet::new(i * gap_us, Direction::Downstream, len))
+            .collect()
+    }
+
+    #[test]
+    fn clean_channel_is_identity() {
+        let pkts = trace(100, 1000, 1432);
+        let mut ch = Impairment::new(ImpairmentConfig::clean());
+        assert_eq!(ch.apply_all(&pkts), pkts);
+    }
+
+    #[test]
+    fn base_delay_shifts_timestamps() {
+        let pkts = trace(10, 1000, 100);
+        let mut ch = Impairment::new(ImpairmentConfig {
+            base_delay: 5_000,
+            ..Default::default()
+        });
+        let out = ch.apply_all(&pkts);
+        assert!(out.iter().zip(&pkts).all(|(o, p)| o.ts == p.ts + 5_000));
+    }
+
+    #[test]
+    fn iid_loss_drops_roughly_p() {
+        let pkts = trace(20_000, 100, 100);
+        let mut ch = Impairment::new(ImpairmentConfig {
+            loss: LossModel::Iid { p: 0.2 },
+            seed: 7,
+            ..Default::default()
+        });
+        let out = ch.apply_all(&pkts);
+        let loss = 1.0 - out.len() as f64 / pkts.len() as f64;
+        assert!((loss - 0.2).abs() < 0.02, "observed loss {loss}");
+    }
+
+    #[test]
+    fn burst_loss_produces_runs() {
+        let pkts = trace(50_000, 100, 100);
+        let mut ch = Impairment::new(ImpairmentConfig {
+            loss: LossModel::Burst {
+                p_enter: 0.01,
+                p_exit: 0.2,
+                p_bad: 1.0,
+            },
+            seed: 3,
+            ..Default::default()
+        });
+        let out = ch.apply_all(&pkts);
+        assert!(out.len() < pkts.len());
+        // Bursty loss should produce at least one gap of >= 3 consecutive
+        // drops, which iid loss at the same average rate rarely does.
+        let surviving: std::collections::HashSet<Micros> = out.iter().map(|p| p.ts).collect();
+        let mut max_run = 0;
+        let mut run = 0;
+        for p in &pkts {
+            if surviving.contains(&p.ts) {
+                run = 0;
+            } else {
+                run += 1;
+                max_run = max_run.max(run);
+            }
+        }
+        assert!(max_run >= 3, "max drop run {max_run}");
+    }
+
+    #[test]
+    fn rate_limit_caps_throughput() {
+        // 100 Mbps offered, 1 MB/s (8 Mbps) cap over 10 seconds.
+        let pkts = trace(100_000, 100, 1196); // 1250 B wire @ 10k pps = 100 Mbps
+        let mut ch = Impairment::new(ImpairmentConfig {
+            rate_limit_bytes_per_sec: Some(1_000_000),
+            ..Default::default()
+        });
+        let out = ch.apply_all(&pkts);
+        let bytes: u64 = out.iter().map(|p| u64::from(p.wire_len())).sum();
+        let dur_s = 10.0;
+        let rate = bytes as f64 / dur_s;
+        assert!(rate <= 1_100_000.0, "rate {rate} exceeds cap");
+        assert!(rate >= 800_000.0, "rate {rate} far below cap");
+    }
+
+    #[test]
+    fn jitter_stays_within_bound_and_is_reproducible() {
+        let pkts = trace(1000, 1000, 100);
+        let cfg = ImpairmentConfig {
+            jitter: 2_000,
+            seed: 11,
+            ..Default::default()
+        };
+        let out1 = Impairment::new(cfg.clone()).apply_all(&pkts);
+        let out2 = Impairment::new(cfg).apply_all(&pkts);
+        assert_eq!(out1, out2);
+        assert!(out1
+            .iter()
+            .zip(&pkts)
+            .all(|(o, p)| o.ts >= p.ts && o.ts <= p.ts + 2_000));
+    }
+
+    #[test]
+    fn poor_network_preset_degrades_badly() {
+        let pkts = trace(50_000, 100, 1196); // 100 Mbps offered over 5 s
+        let mut ch = Impairment::new(ImpairmentConfig::poor_network(1));
+        let out = ch.apply_all(&pkts);
+        // Must lose a lot of traffic and delay the rest.
+        assert!(out.len() < pkts.len() / 2);
+        assert!(out[0].ts >= 70_000);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::packet::Direction;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The channel never invents packets, never reorders the surviving
+        /// subsequence, and delays by at least the base delay.
+        #[test]
+        fn channel_is_a_lossy_delaying_subsequence(
+            n in 1usize..400,
+            gap in 100u64..5_000,
+            base_delay in 0u64..50_000,
+            jitter in 0u64..5_000,
+            p in 0.0f64..0.9,
+            seed in any::<u64>(),
+        ) {
+            let pkts: Vec<Packet> = (0..n as u64)
+                .map(|i| Packet::new(i * gap, Direction::Downstream, 500))
+                .collect();
+            let mut ch = Impairment::new(ImpairmentConfig {
+                base_delay,
+                jitter,
+                loss: LossModel::Iid { p },
+                rate_limit_bytes_per_sec: None,
+                seed,
+            });
+            let out = ch.apply_all(&pkts);
+            prop_assert!(out.len() <= pkts.len());
+            for o in &out {
+                // Each survivor maps to an input shifted by [base, base+jitter].
+                let orig = (o.ts - base_delay).saturating_sub(jitter);
+                prop_assert!(pkts.iter().any(|p| p.ts >= orig && p.ts + base_delay <= o.ts));
+                prop_assert!(o.ts >= base_delay);
+            }
+        }
+
+        /// A rate limit is never exceeded over the whole trace (beyond the
+        /// one-second bucket depth).
+        #[test]
+        fn rate_limit_holds_globally(
+            rate in 10_000u64..1_000_000,
+            n in 10usize..500,
+            seed in any::<u64>(),
+        ) {
+            let pkts: Vec<Packet> = (0..n as u64)
+                .map(|i| Packet::new(i * 1_000, Direction::Downstream, 1432))
+                .collect();
+            let mut ch = Impairment::new(ImpairmentConfig {
+                rate_limit_bytes_per_sec: Some(rate),
+                seed,
+                ..Default::default()
+            });
+            let out = ch.apply_all(&pkts);
+            let bytes: u64 = out.iter().map(|p| u64::from(p.wire_len())).sum();
+            let duration_s = (pkts.last().unwrap().ts as f64 / 1e6).max(1e-6);
+            // Allowance: the initial bucket depth (1 s of tokens).
+            prop_assert!(bytes as f64 <= rate as f64 * duration_s + rate as f64 + 1500.0);
+        }
+    }
+}

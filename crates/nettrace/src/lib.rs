@@ -1,0 +1,43 @@
+//! # nettrace — packet-level trace substrate
+//!
+//! Foundation crate for the `gamescope` workspace. It models everything the
+//! cloud-gaming context classifier needs to observe about network traffic:
+//!
+//! * [`packet::Packet`] — a timestamped, directional datagram observation,
+//!   the unit every other crate consumes.
+//! * [`rtp`] — a Real-time Transport Protocol header codec; cloud gaming
+//!   platforms stream game video and carry user input over RTP/UDP.
+//! * [`flow`] — five-tuple keyed flow bookkeeping with per-direction
+//!   volumetric counters, as an in-network monitor would maintain.
+//! * [`pcap`] — classic libpcap file reader/writer so synthetic sessions can
+//!   round-trip through the same file format as lab Wireshark captures.
+//! * [`slots`] — fixed-width time-slot aggregation (the paper computes every
+//!   attribute per `T`- or `I`-second slot).
+//! * [`impair`] — a network impairment channel (delay, jitter, random and
+//!   bursty loss, token-bucket rate limiting) for fault-injection testing in
+//!   the spirit of smoltcp's example harnesses.
+//! * [`stats`] — small numeric helpers (mean/std/percentile) shared by the
+//!   feature extractors.
+//!
+//! The crate is deliberately synchronous and allocation-light: traces are
+//! `Vec<Packet>` and all processing is streaming-friendly (single pass, slot
+//! by slot), matching how the paper's pipeline runs inside an ISP tap.
+
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod impair;
+pub mod packet;
+pub mod pcap;
+pub mod rtp;
+pub mod slots;
+pub mod stats;
+pub mod units;
+pub mod vol;
+
+pub use flow::{FlowKey, FlowStats, FlowTable};
+pub use impair::{Impairment, ImpairmentConfig, LossModel};
+pub use packet::{Direction, FiveTuple, Packet, Protocol};
+pub use slots::{SlotSeries, SlotView};
+pub use units::{Micros, BITS_PER_BYTE, MICROS_PER_SEC};
+pub use vol::{VolSample, VolSeries};

@@ -1,0 +1,212 @@
+//! Packet observations and addressing.
+//!
+//! A [`Packet`] is the minimal record an in-network monitor keeps per
+//! datagram: arrival time, direction relative to the subscriber, transport
+//! five-tuple and payload length. The paper's classifiers never look at
+//! payload *content* (the streams are encrypted); everything is derived from
+//! sizes and timings, which is exactly what this type captures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr};
+
+use crate::units::Micros;
+
+/// Transport protocol of a flow. Cloud game streaming is RTP-over-UDP; the
+/// enum exists so the flow filter can reject TCP control/administrative
+/// traffic that shares the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// User Datagram Protocol (all game streaming flows).
+    Udp,
+    /// Transmission Control Protocol (platform administration, storefront).
+    Tcp,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Udp => write!(f, "UDP"),
+            Protocol::Tcp => write!(f, "TCP"),
+        }
+    }
+}
+
+/// Direction of a packet relative to the subscriber (client device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Cloud server → client: rendered game video and audio.
+    Downstream,
+    /// Client → cloud server: user inputs (mouse, keys, touch, voice).
+    Upstream,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Downstream => Direction::Upstream,
+            Direction::Upstream => Direction::Downstream,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Downstream => write!(f, "down"),
+            Direction::Upstream => write!(f, "up"),
+        }
+    }
+}
+
+/// Classic transport five-tuple identifying a flow.
+///
+/// By convention in this workspace the `src` side is the cloud server and
+/// the `dst` side the client, i.e. the tuple is written in the *downstream*
+/// orientation; [`FiveTuple::normalized`] maps both directions of a
+/// bidirectional conversation onto one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Server-side address.
+    pub src_ip: IpAddr,
+    /// Client-side address.
+    pub dst_ip: IpAddr,
+    /// Server-side port.
+    pub src_port: u16,
+    /// Client-side port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FiveTuple {
+    /// Convenience constructor for an IPv4 UDP tuple.
+    pub fn udp_v4(src: [u8; 4], src_port: u16, dst: [u8; 4], dst_port: u16) -> Self {
+        FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::from(src)),
+            dst_ip: IpAddr::V4(Ipv4Addr::from(dst)),
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
+    }
+
+    /// Returns the tuple for the reverse direction of the conversation.
+    pub fn reversed(&self) -> Self {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Canonical orientation so both directions of a conversation share a
+    /// flow-table key: the lexicographically smaller `(ip, port)` endpoint
+    /// becomes `src`.
+    pub fn normalized(&self) -> Self {
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// One observed datagram.
+///
+/// `payload_len` is the RTP payload length in bytes (what Fig. 3 of the
+/// paper scatter-plots); header overhead is accounted separately via
+/// [`Packet::wire_len`] when computing throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Arrival time in microseconds since session start.
+    pub ts: Micros,
+    /// Direction relative to the subscriber.
+    pub dir: Direction,
+    /// RTP payload length in bytes.
+    pub payload_len: u32,
+    /// RTP sequence number (per-direction, wrapping).
+    pub seq: u16,
+    /// RTP timestamp field (media clock).
+    pub rtp_ts: u32,
+    /// RTP marker bit: set on the last packet of a video frame.
+    pub marker: bool,
+}
+
+/// Ethernet (14) + IPv4 (20) + UDP (8) + RTP fixed header (12) overhead in
+/// bytes added to the payload when a packet is serialized onto the wire.
+pub const WIRE_OVERHEAD: u32 = 14 + 20 + 8 + 12;
+
+impl Packet {
+    /// Creates a downstream packet with zeroed RTP metadata; generators fill
+    /// the sequence/timestamp fields as they emit streams.
+    pub fn new(ts: Micros, dir: Direction, payload_len: u32) -> Self {
+        Packet {
+            ts,
+            dir,
+            payload_len,
+            seq: 0,
+            rtp_ts: 0,
+            marker: false,
+        }
+    }
+
+    /// Total on-wire length (headers + payload) used for throughput math.
+    pub fn wire_len(&self) -> u32 {
+        self.payload_len + WIRE_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flip_is_involutive() {
+        assert_eq!(Direction::Downstream.flip(), Direction::Upstream);
+        assert_eq!(Direction::Upstream.flip().flip(), Direction::Upstream);
+    }
+
+    #[test]
+    fn five_tuple_reverse_and_normalize() {
+        let t = FiveTuple::udp_v4([10, 0, 0, 1], 49003, [192, 168, 1, 5], 50123);
+        let r = t.reversed();
+        assert_eq!(r.src_port, 50123);
+        assert_eq!(r.reversed(), t);
+        // Both orientations normalize to the same key.
+        assert_eq!(t.normalized(), r.normalized());
+    }
+
+    #[test]
+    fn normalized_is_idempotent() {
+        let t = FiveTuple::udp_v4([192, 168, 1, 5], 50123, [10, 0, 0, 1], 49003);
+        assert_eq!(t.normalized(), t.normalized().normalized());
+    }
+
+    #[test]
+    fn wire_len_adds_header_overhead() {
+        let p = Packet::new(0, Direction::Downstream, 1432);
+        assert_eq!(p.wire_len(), 1432 + 54);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FiveTuple::udp_v4([10, 0, 0, 1], 443, [1, 2, 3, 4], 999);
+        assert_eq!(format!("{t}"), "UDP 10.0.0.1:443 -> 1.2.3.4:999");
+        assert_eq!(format!("{}", Direction::Downstream), "down");
+        assert_eq!(format!("{}", Protocol::Tcp), "TCP");
+    }
+}

@@ -1,0 +1,158 @@
+//! Small numeric helpers used by the feature extractors.
+//!
+//! These are intentionally plain functions over `&[f64]` — every per-slot
+//! attribute in the paper (count/size/inter-arrival mean, std, min, max,
+//! sum) reduces to one of these.
+
+/// Sum of the samples (0 for empty input).
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Arithmetic mean, or 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        sum(xs) / xs.len() as f64
+    }
+}
+
+/// Population standard deviation, or 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Minimum, or 0 for empty input.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min_or_zero()
+}
+
+/// Maximum, or 0 for empty input.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max_or_zero()
+}
+
+trait OrZero {
+    fn min_or_zero(self) -> f64;
+    fn max_or_zero(self) -> f64;
+}
+
+impl OrZero for f64 {
+    fn min_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Linearly interpolated percentile (`q` in `[0, 1]`), or 0 for empty input.
+/// Sorts a copy; callers with hot paths should pre-sort and use
+/// [`percentile_sorted`].
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&v, q)
+}
+
+/// Percentile over already-sorted input.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
+/// Consecutive differences (`xs[i+1] - xs[i]`); the inter-arrival-time
+/// series of a slot's packet timestamps.
+pub fn diffs(xs: &[f64]) -> Vec<f64> {
+    xs.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(min(&xs), 2.0);
+        assert_eq!(max(&xs), 9.0);
+        assert_eq!(sum(&xs), 40.0);
+    }
+
+    #[test]
+    fn single_sample_std_is_zero() {
+        assert_eq!(std_dev(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -0.5), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 2.0);
+    }
+
+    #[test]
+    fn diffs_give_inter_arrivals() {
+        assert_eq!(diffs(&[1.0, 3.0, 6.0]), vec![2.0, 3.0]);
+        assert!(diffs(&[5.0]).is_empty());
+        assert!(diffs(&[]).is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Bidirectional volumetric time series.
+//!
+//! The stage classifier (§4.3.1) consumes four "standard volumetric
+//! attributes" per `I`-second slot: throughput and packet rate in each
+//! direction. [`VolSeries`] is that aggregation. It can be computed from a
+//! packet trace (lab path) or synthesized directly by the fleet simulator,
+//! which lets deployment-scale experiments skip per-packet generation
+//! without changing anything downstream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{Direction, Packet};
+use crate::units::{bytes_to_mbps, Micros};
+
+/// Volumetric counters of one slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VolSample {
+    /// Downstream wire bytes in the slot.
+    pub down_bytes: u64,
+    /// Downstream packets in the slot.
+    pub down_pkts: u64,
+    /// Upstream wire bytes in the slot.
+    pub up_bytes: u64,
+    /// Upstream packets in the slot.
+    pub up_pkts: u64,
+}
+
+impl VolSample {
+    /// Adds one packet to the counters.
+    pub fn add(&mut self, pkt: &Packet) {
+        match pkt.dir {
+            Direction::Downstream => {
+                self.down_bytes += u64::from(pkt.wire_len());
+                self.down_pkts += 1;
+            }
+            Direction::Upstream => {
+                self.up_bytes += u64::from(pkt.wire_len());
+                self.up_pkts += 1;
+            }
+        }
+    }
+
+    /// Element-wise sum of two samples.
+    pub fn merge(&self, other: &VolSample) -> VolSample {
+        VolSample {
+            down_bytes: self.down_bytes + other.down_bytes,
+            down_pkts: self.down_pkts + other.down_pkts,
+            up_bytes: self.up_bytes + other.up_bytes,
+            up_pkts: self.up_pkts + other.up_pkts,
+        }
+    }
+}
+
+/// Equal-width volumetric slot series for one flow.
+///
+/// ```
+/// use nettrace::packet::{Direction, Packet};
+/// use nettrace::vol::VolSeries;
+///
+/// let packets = vec![
+///     Packet::new(0, Direction::Downstream, 946),        // slot 0
+///     Packet::new(1_500_000, Direction::Upstream, 46),   // slot 1
+/// ];
+/// let vol = VolSeries::from_packets(&packets, 0, 1_000_000);
+/// assert_eq!(vol.len(), 2);
+/// assert_eq!(vol.samples[0].down_pkts, 1);
+/// assert_eq!(vol.samples[1].up_pkts, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolSeries {
+    /// Slot width in microseconds.
+    pub width: Micros,
+    /// Series origin (timestamp of slot 0's start).
+    pub origin: Micros,
+    /// Per-slot counters.
+    pub samples: Vec<VolSample>,
+}
+
+impl VolSeries {
+    /// Builds the series from a packet trace. Packets before `origin` are
+    /// ignored.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn from_packets(packets: &[Packet], origin: Micros, width: Micros) -> Self {
+        assert!(width > 0, "slot width must be positive");
+        let n_slots = packets
+            .iter()
+            .filter(|p| p.ts >= origin)
+            .map(|p| ((p.ts - origin) / width) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut samples = vec![VolSample::default(); n_slots];
+        for p in packets {
+            if p.ts < origin {
+                continue;
+            }
+            samples[((p.ts - origin) / width) as usize].add(p);
+        }
+        VolSeries {
+            width,
+            origin,
+            samples,
+        }
+    }
+
+    /// Wraps pre-aggregated samples (the fleet simulator's path).
+    pub fn from_samples(samples: Vec<VolSample>, origin: Micros, width: Micros) -> Self {
+        assert!(width > 0, "slot width must be positive");
+        VolSeries {
+            width,
+            origin,
+            samples,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Re-bins the series into slots `factor` times wider (e.g. 0.1 s
+    /// samples → 1 s samples with `factor = 10`). The trailing partial
+    /// group, if any, becomes a final (shorter-coverage) slot.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn rebin(&self, factor: usize) -> VolSeries {
+        assert!(factor > 0, "rebin factor must be positive");
+        let samples = self
+            .samples
+            .chunks(factor)
+            .map(|chunk| chunk.iter().fold(VolSample::default(), |a, b| a.merge(b)))
+            .collect();
+        VolSeries {
+            width: self.width * factor as u64,
+            origin: self.origin,
+            samples,
+        }
+    }
+
+    /// Downstream throughput of slot `i` in Mbps.
+    pub fn down_mbps(&self, i: usize) -> f64 {
+        bytes_to_mbps(self.samples[i].down_bytes, self.width)
+    }
+
+    /// Upstream throughput of slot `i` in Mbps.
+    pub fn up_mbps(&self, i: usize) -> f64 {
+        bytes_to_mbps(self.samples[i].up_bytes, self.width)
+    }
+
+    /// Downstream packet rate of slot `i` in packets/second.
+    pub fn down_pps(&self, i: usize) -> f64 {
+        self.samples[i].down_pkts as f64 * 1e6 / self.width as f64
+    }
+
+    /// Upstream packet rate of slot `i` in packets/second.
+    pub fn up_pps(&self, i: usize) -> f64 {
+        self.samples[i].up_pkts as f64 * 1e6 / self.width as f64
+    }
+
+    /// Mean downstream throughput across all slots, in Mbps.
+    pub fn mean_down_mbps(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.samples.iter().map(|s| s.down_bytes).sum();
+        bytes_to_mbps(total, self.width * self.samples.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MICROS_PER_SEC;
+
+    fn pkt(ts: Micros, dir: Direction, len: u32) -> Packet {
+        Packet::new(ts, dir, len)
+    }
+
+    #[test]
+    fn from_packets_bins_correctly() {
+        let v = VolSeries::from_packets(
+            &[
+                pkt(0, Direction::Downstream, 946),    // 1000 wire bytes
+                pkt(500_000, Direction::Upstream, 46), // 100 wire bytes
+                pkt(1_200_000, Direction::Downstream, 946),
+            ],
+            0,
+            MICROS_PER_SEC,
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.samples[0].down_bytes, 1000);
+        assert_eq!(v.samples[0].up_bytes, 100);
+        assert_eq!(v.samples[0].down_pkts, 1);
+        assert_eq!(v.samples[1].down_pkts, 1);
+        assert!((v.down_mbps(0) - 0.008).abs() < 1e-9);
+        assert!((v.down_pps(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_series() {
+        let v = VolSeries::from_packets(&[], 0, MICROS_PER_SEC);
+        assert!(v.is_empty());
+        assert_eq!(v.mean_down_mbps(), 0.0);
+    }
+
+    #[test]
+    fn rebin_merges_slots() {
+        let fine = VolSeries::from_samples(
+            vec![
+                VolSample {
+                    down_bytes: 10,
+                    down_pkts: 1,
+                    up_bytes: 0,
+                    up_pkts: 0,
+                },
+                VolSample {
+                    down_bytes: 20,
+                    down_pkts: 2,
+                    up_bytes: 5,
+                    up_pkts: 1,
+                },
+                VolSample {
+                    down_bytes: 40,
+                    down_pkts: 4,
+                    up_bytes: 0,
+                    up_pkts: 0,
+                },
+            ],
+            0,
+            100_000,
+        );
+        let coarse = fine.rebin(2);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse.width, 200_000);
+        assert_eq!(coarse.samples[0].down_bytes, 30);
+        assert_eq!(coarse.samples[0].up_pkts, 1);
+        assert_eq!(coarse.samples[1].down_pkts, 4);
+    }
+
+    #[test]
+    fn rebin_by_one_is_identity() {
+        let v = VolSeries::from_samples(vec![VolSample::default(); 5], 0, 1000);
+        assert_eq!(v.rebin(1), v);
+    }
+
+    #[test]
+    fn mean_down_mbps_averages_over_duration() {
+        // 1 MB in slot 0, nothing in slot 1 -> 8 Mbps over 1 s, 4 Mbps over 2 s.
+        let v = VolSeries::from_samples(
+            vec![
+                VolSample {
+                    down_bytes: 1_000_000,
+                    down_pkts: 1,
+                    up_bytes: 0,
+                    up_pkts: 0,
+                },
+                VolSample::default(),
+            ],
+            0,
+            MICROS_PER_SEC,
+        );
+        assert!((v.mean_down_mbps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packets_before_origin_ignored() {
+        let v = VolSeries::from_packets(
+            &[
+                pkt(10, Direction::Downstream, 100),
+                pkt(2_000_000, Direction::Downstream, 100),
+            ],
+            1_000_000,
+            MICROS_PER_SEC,
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.samples[0].down_pkts, 0);
+        assert_eq!(v.samples[1].down_pkts, 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! ISP deployment in miniature: train, run a popularity-weighted fleet of
+//! sessions through the pipeline in parallel, learn the demand calibration
+//! from the first batch, and print the §5-style operator dashboards.
+//!
+//! ```text
+//! cargo run --release --example isp_deployment
+//! ```
+
+use gamescope::deploy::aggregate::{
+    bandwidth_by_title, calibrate, field_validation, qoe_by_title, stage_profiles_by_title,
+};
+use gamescope::deploy::train::{train_bundle, TrainConfig};
+use gamescope::deploy::{run_fleet, FleetConfig};
+
+fn main() {
+    println!("training models (quick config)...");
+    let mut bundle = train_bundle(&TrainConfig::quick());
+
+    let base = FleetConfig {
+        n_sessions: 150,
+        duration_scale: 0.08,
+        ..Default::default()
+    };
+
+    // Calibration month: learn per-title demand from measurement.
+    println!("calibration pass ({} sessions)...", base.n_sessions / 3);
+    let calib = run_fleet(
+        &bundle,
+        &FleetConfig {
+            n_sessions: base.n_sessions / 3,
+            seed: base.seed ^ 1,
+            uniform_titles: true,
+            ..base.clone()
+        },
+    );
+    bundle.calibration = calibrate(&calib);
+
+    // Measurement period.
+    println!("measurement pass ({} sessions)...\n", base.n_sessions);
+    let records = run_fleet(&bundle, &base);
+
+    let fv = field_validation(&records);
+    println!(
+        "title validation vs server logs: {:.1}% over clean catalog sessions",
+        fv.overall_accuracy * 100.0
+    );
+
+    println!("\nper-title dashboards (titles with >= 3 sessions):");
+    let stage = stage_profiles_by_title(&records);
+    let bw = bandwidth_by_title(&records);
+    let qoe = qoe_by_title(&records);
+    for ((s, b), q) in stage.iter().zip(&bw).zip(&qoe) {
+        if s.sessions < 3 {
+            continue;
+        }
+        println!(
+            "  {:<18} {:>3} sessions | active/passive/idle {:>4.0}/{:>4.0}/{:>4.0} s | median {:>5.1} Mbps | good QoE {:>5.1}% -> {:>5.1}% after calibration",
+            s.context,
+            s.sessions,
+            s.active_min * 60.0,
+            s.passive_min * 60.0,
+            s.idle_min * 60.0,
+            b.median_mbps,
+            q.objective[2] * 100.0,
+            q.effective[2] * 100.0,
+        );
+    }
+
+    let impaired = records.iter().filter(|r| r.impaired).count();
+    println!(
+        "\n{} of {} sessions ran behind degraded paths; those are the ones a\nnetwork operator should chase — the calibration keeps the rest green.",
+        impaired,
+        records.len()
+    );
+}

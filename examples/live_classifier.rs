@@ -1,0 +1,87 @@
+//! Live classifier: drives the pipeline **packet by packet**, the way an
+//! in-network tap observes traffic, printing context decisions the moment
+//! they fire — the title when the 5-second window closes, stage changes as
+//! their slots close, and the pattern decision when confidence crosses the
+//! 75 % gate.
+//!
+//! ```text
+//! cargo run --release --example live_classifier
+//! ```
+
+use gamescope::deploy::train::{train_bundle, TrainConfig};
+use gamescope::domain::{GameTitle, Stage, StreamSettings};
+use gamescope::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer};
+use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+
+fn main() {
+    println!("training models (quick config)...");
+    let bundle = train_bundle(&TrainConfig::quick());
+
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(GameTitle::Overwatch2),
+        settings: StreamSettings::default_pc(),
+        gameplay_secs: 420.0,
+        fidelity: Fidelity::FullPackets,
+        seed: 7,
+    });
+    println!(
+        "streaming {} packets (truth withheld from the pipeline)...\n",
+        session.packets.len()
+    );
+
+    let mut analyzer =
+        SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+
+    // Feed every packet in arrival order, narrating state changes. A real
+    // deployment would do exactly this from a capture socket.
+    let mut last_stage: Option<Stage> = None;
+    let mut title_announced = false;
+    for pkt in &session.packets {
+        analyzer.push_packet(pkt);
+        let t_secs = pkt.ts / 1_000_000;
+        if !title_announced {
+            if let Some(pred) = analyzer.title_prediction() {
+                println!(
+                    "[t={t_secs}s] title process: {} (confidence {:.0}%)",
+                    pred.title.map(|t| t.name()).unwrap_or("unknown"),
+                    pred.confidence * 100.0
+                );
+                title_announced = true;
+            }
+        }
+        if let Some(stage) = analyzer.current_stage() {
+            if last_stage != Some(stage) {
+                println!("[t={t_secs}s] stage -> {stage}");
+                last_stage = Some(stage);
+            }
+        }
+    }
+
+    let report = analyzer.finish();
+    match report.pattern {
+        Some(d) => println!(
+            "[t={}s] pattern process: {} (confidence {:.0}%)",
+            d.decided_after_slots,
+            d.pattern,
+            d.confidence * 100.0
+        ),
+        None => {
+            if let Some((p, c)) = report.final_pattern {
+                println!(
+                    "[end] pattern process (below threshold): {p} ({:.0}%)",
+                    c * 100.0
+                );
+            }
+        }
+    }
+    println!(
+        "\nsession summary: {:.1} Mbps mean downstream, objective QoE {}, effective QoE {}",
+        report.mean_down_mbps, report.objective_qoe, report.effective_qoe
+    );
+    println!(
+        "ground truth was: {} ({})",
+        session.kind,
+        session.kind.pattern()
+    );
+}

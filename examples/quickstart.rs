@@ -1,0 +1,93 @@
+//! Quickstart: train the pipeline, generate one cloud gaming session, and
+//! classify its full context — game title, player activity stages,
+//! gameplay activity pattern and effective QoE.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gamescope::deploy::train::{train_bundle, TrainConfig};
+use gamescope::domain::{GameTitle, Stage, StreamSettings};
+use gamescope::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer};
+use gamescope::sim;
+use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use gamescope::trace::units::MICROS_PER_SEC;
+
+fn main() {
+    // 1. Train a model bundle. `TrainConfig::quick()` keeps this example
+    //    under a minute; deployments use `TrainConfig::default()`.
+    println!("training models (quick config)...");
+    let bundle = train_bundle(&TrainConfig::quick());
+
+    // 2. Generate a synthetic Fortnite session: 5 minutes of gameplay on a
+    //    Windows PC at FHD/60.
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(GameTitle::Fortnite),
+        settings: StreamSettings::default_pc(),
+        gameplay_secs: 300.0,
+        fidelity: Fidelity::LaunchOnly,
+        seed: 2024,
+    });
+    println!(
+        "generated session: {} | {:.1} minutes | {} launch packets",
+        session.kind,
+        session.duration() as f64 / 60e6,
+        session.packets.len()
+    );
+
+    // 3. Run the real-time pipeline over the session.
+    let mut analyzer =
+        SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+    analyzer.analyze(&session.packets, &session.vol);
+    let report = analyzer.finish();
+
+    // 4. Inspect the report.
+    match report.title.title {
+        Some(t) => println!(
+            "title: {t} (confidence {:.0}%)",
+            report.title.confidence * 100.0
+        ),
+        None => println!(
+            "title: unknown (confidence {:.0}%)",
+            report.title.confidence * 100.0
+        ),
+    }
+    match report.pattern {
+        Some(d) => println!(
+            "pattern: {} (confident after {} s)",
+            d.pattern, d.decided_after_slots
+        ),
+        None => {
+            if let Some((p, c)) = report.final_pattern {
+                println!("pattern: {p} (best-effort, confidence {:.0}%)", c * 100.0);
+            }
+        }
+    }
+    for stage in [Stage::Active, Stage::Passive, Stage::Idle] {
+        println!("time in {stage}: {:.0} s", report.stage_seconds(stage));
+    }
+    println!(
+        "mean downstream {:.1} Mbps | objective QoE {} | effective QoE {}",
+        report.mean_down_mbps, report.objective_qoe, report.effective_qoe
+    );
+
+    // 5. Sanity: the classified stages align with the generator's truth.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (i, &pred) in report.stage_slots.iter().enumerate() {
+        let mid = i as u64 * report.slot_width + MICROS_PER_SEC / 2;
+        if let Some(truth) = session.timeline.stage_at(mid) {
+            if truth.is_gameplay() {
+                total += 1;
+                agree += usize::from(pred == truth);
+            }
+        }
+    }
+    println!(
+        "stage agreement with ground truth: {:.0}% over {} gameplay slots",
+        100.0 * agree as f64 / total.max(1) as f64,
+        total
+    );
+    let _ = sim::FULL_PAYLOAD; // the library exposes the 1432 B "full" size
+}
