@@ -53,7 +53,7 @@ fn sessions_with_resolutions(
         .map(|i| {
             let settings = StreamSettings {
                 resolution: resolutions[rng.gen_range(0..resolutions.len())],
-                fps: *[30u32, 60, 120].get(rng.gen_range(0..3)).unwrap(),
+                fps: *[30u32, 60, 120].get(rng.gen_range(0..3usize)).unwrap(),
                 ..StreamSettings::default_pc()
             };
             generator.generate(&SessionConfig {

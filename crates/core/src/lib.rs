@@ -20,6 +20,10 @@
 //!   together per session.
 //! * [`monitor`] — [`monitor::TapMonitor`] demultiplexes an interleaved
 //!   tap feed into per-flow analyzers (the deployment front end).
+//! * [`expiry`] — [`expiry::ExpiryWheel`], the bucketed idle-expiry queue
+//!   behind the monitor's O(due) `finish_idle` and LRU eviction.
+//! * [`shard`] — [`shard::ShardedTapMonitor`], the parallel front end:
+//!   flows hashed across worker shards, each running its own monitor.
 //! * [`bundle`] — serializable trained-model bundles.
 //!
 //! Training helpers live in `cgc-deploy` (they need the traffic
@@ -29,21 +33,25 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod expiry;
 pub mod filter;
 pub mod monitor;
 pub mod pattern;
 pub mod pipeline;
 pub mod qoe;
+pub mod shard;
 pub mod stage;
 pub mod title;
 
 pub use bundle::ModelBundle;
+pub use expiry::ExpiryWheel;
 pub use filter::{CloudGamingFilter, FilterConfig, Platform};
-pub use monitor::{MonitorConfig, MonitoredSession, TapMonitor};
+pub use monitor::{MonitorConfig, MonitoredSession, ShardStats, TapMonitor};
 pub use pattern::{PatternInferrer, PatternInferrerConfig, PatternPrediction, PatternTracker};
 pub use pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
 pub use qoe::{
     effective_qoe, objective_qoe, CalibrationTable, GameContext, ObjectiveThresholds, QosMetrics,
 };
+pub use shard::{MonitorStats, ShardedMonitorConfig, ShardedTapMonitor, TapRecord};
 pub use stage::{StageClassifier, StageClassifierConfig, STAGE_CLASSES};
 pub use title::{TitleClassifier, TitleClassifierConfig, TitlePrediction};

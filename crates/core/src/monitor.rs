@@ -9,6 +9,14 @@
 //! accepted flow. Flows idle past a timeout are finalized and their
 //! [`SessionReport`]s emitted — exactly how an operator turns a raw packet
 //! feed into per-session context records.
+//!
+//! Idle detection runs on an [`ExpiryWheel`](crate::expiry::ExpiryWheel),
+//! so a `finish_idle` pass touches only the flows that are actually due
+//! rather than scanning the whole table, and the flow table is bounded:
+//! past [`MonitorConfig::max_flows`] the least-recently-seen flow is
+//! finalized early to make room (counted in [`ShardStats::evicted_flows`]).
+//! The same monitor state serves as one worker shard of the parallel
+//! [`ShardedTapMonitor`](crate::shard::ShardedTapMonitor).
 
 use std::collections::HashMap;
 
@@ -16,8 +24,10 @@ use nettrace::flow::FlowStats;
 use nettrace::packet::{Direction, FiveTuple, Packet};
 use nettrace::pcap::PcapRecord;
 use nettrace::units::Micros;
+use serde::{Deserialize, Serialize};
 
 use crate::bundle::ModelBundle;
+use crate::expiry::ExpiryWheel;
 use crate::filter::{CloudGamingFilter, FilterConfig, Platform};
 use crate::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
 
@@ -33,6 +43,12 @@ pub struct MonitorConfig {
     /// Default QoS context for QoE labeling (override per flow with
     /// [`TapMonitor::set_qoe`]).
     pub qoe: QoeInputs,
+    /// Hard cap on concurrently tracked flows; when a new flow arrives at
+    /// the cap, the least-recently-seen flow is finalized early (its report
+    /// surfaces on the next `finish_idle`/`finish_all`).
+    pub max_flows: usize,
+    /// Bucket width of the idle-expiry wheel (microseconds).
+    pub expiry_bucket: Micros,
 }
 
 impl Default for MonitorConfig {
@@ -42,6 +58,8 @@ impl Default for MonitorConfig {
             filter: FilterConfig::default(),
             idle_timeout: 60_000_000, // 60 s
             qoe: QoeInputs::default(),
+            max_flows: 250_000,
+            expiry_bucket: 1_000_000, // 1 s
         }
     }
 }
@@ -64,6 +82,43 @@ pub struct MonitoredSession {
     pub report: SessionReport,
 }
 
+/// Observability counters of one monitor (one shard of the parallel front
+/// end, or the whole serial monitor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Packets accepted into some flow's analyzer.
+    pub ingested_packets: u64,
+    /// Packets dropped for lacking a platform signature or failing the
+    /// pre-filter.
+    pub ignored_packets: u64,
+    /// Flows currently tracked.
+    pub active_flows: u64,
+    /// Flows finalized for any reason (idle, drain or eviction).
+    pub finalized_flows: u64,
+    /// Flows finalized early because the table hit `max_flows`.
+    pub evicted_flows: u64,
+    /// Expiry-wheel entries examined while finding idle/evictable flows —
+    /// proportional to due flows, not table size.
+    pub expiry_entries_scanned: u64,
+    /// Record batches received (only the sharded front end batches; the
+    /// serial monitor leaves this 0).
+    pub batches: u64,
+}
+
+impl ShardStats {
+    /// Accumulates another shard's counters into this one (`active_flows`
+    /// and the rest are all additive).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.ingested_packets += other.ingested_packets;
+        self.ignored_packets += other.ignored_packets;
+        self.active_flows += other.active_flows;
+        self.finalized_flows += other.finalized_flows;
+        self.evicted_flows += other.evicted_flows;
+        self.expiry_entries_scanned += other.expiry_entries_scanned;
+        self.batches += other.batches;
+    }
+}
+
 struct FlowEntry<'b> {
     analyzer: SessionAnalyzer<'b>,
     down_tuple: FiveTuple,
@@ -79,7 +134,14 @@ pub struct TapMonitor<'b> {
     config: MonitorConfig,
     filter: CloudGamingFilter,
     flows: HashMap<FiveTuple, FlowEntry<'b>>,
+    expiry: ExpiryWheel<FiveTuple>,
+    /// Sessions evicted at the cap, held until the next finalize call.
+    evicted: Vec<MonitoredSession>,
+    ingested_packets: u64,
     ignored_packets: u64,
+    finalized_flows: u64,
+    evicted_flows: u64,
+    batches: u64,
 }
 
 impl<'b> TapMonitor<'b> {
@@ -90,7 +152,13 @@ impl<'b> TapMonitor<'b> {
             config,
             filter: CloudGamingFilter::new(config.filter),
             flows: HashMap::new(),
+            expiry: ExpiryWheel::new(config.expiry_bucket),
+            evicted: Vec::new(),
+            ingested_packets: 0,
             ignored_packets: 0,
+            finalized_flows: 0,
+            evicted_flows: 0,
+            batches: 0,
         }
     }
 
@@ -114,6 +182,9 @@ impl<'b> TapMonitor<'b> {
         }
 
         let key = down_tuple.normalized();
+        if !self.flows.contains_key(&key) && self.flows.len() >= self.config.max_flows.max(1) {
+            self.evict_least_recent();
+        }
         let config = &self.config;
         let bundle = self.bundle;
         let entry = self.flows.entry(key).or_insert_with(|| FlowEntry {
@@ -125,6 +196,8 @@ impl<'b> TapMonitor<'b> {
             stats: FlowStats::default(),
         });
         entry.last_seen = ts;
+        self.expiry.touch(key, ts);
+        self.ingested_packets += 1;
         // Rebase to flow-relative time for the analyzer.
         let mut pkt = Packet::new(ts.saturating_sub(entry.started_at), dir, payload_len);
         pkt.marker = false;
@@ -135,6 +208,15 @@ impl<'b> TapMonitor<'b> {
     /// Ingests a decoded capture record (the pcap reader's output).
     pub fn ingest_record(&mut self, record: &PcapRecord) {
         self.ingest(record.ts, &record.tuple, record.payload_len);
+    }
+
+    /// Ingests a batch of records (the sharded front end's unit of work),
+    /// counting it in [`ShardStats::batches`].
+    pub fn ingest_batch(&mut self, records: &[(Micros, FiveTuple, u32)]) {
+        self.batches += 1;
+        for (ts, tuple, len) in records {
+            self.ingest(*ts, tuple, *len);
+        }
     }
 
     /// Overrides the QoS context of one flow (e.g. when the gray-box QoE
@@ -156,37 +238,58 @@ impl<'b> TapMonitor<'b> {
         self.ignored_packets
     }
 
+    /// Snapshot of the monitor's observability counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            ingested_packets: self.ingested_packets,
+            ignored_packets: self.ignored_packets,
+            active_flows: self.flows.len() as u64,
+            finalized_flows: self.finalized_flows,
+            evicted_flows: self.evicted_flows,
+            expiry_entries_scanned: self.expiry.entries_scanned(),
+            batches: self.batches,
+        }
+    }
+
     /// Finalizes flows idle since before `now - idle_timeout`, returning
-    /// their reports.
+    /// their reports (plus any flows evicted at the cap since the last
+    /// call). Work is proportional to the number of due flows: the expiry
+    /// wheel only visits buckets behind the cutoff, never the whole table.
     pub fn finish_idle(&mut self, now: Micros) -> Vec<MonitoredSession> {
         let cutoff = now.saturating_sub(self.config.idle_timeout);
-        let expired: Vec<FiveTuple> = self
-            .flows
-            .iter()
-            .filter(|(_, e)| e.last_seen < cutoff)
-            .map(|(k, _)| *k)
-            .collect();
-        expired
-            .into_iter()
-            .map(|k| {
-                let entry = self.flows.remove(&k).expect("key present");
-                self.finalize(entry)
-            })
-            .collect()
+        let mut out = std::mem::take(&mut self.evicted);
+        for key in self.expiry.drain_due(cutoff) {
+            let entry = self.flows.remove(&key).expect("wheel and table in sync");
+            out.push(self.finalize(entry));
+        }
+        out
     }
 
-    /// Finalizes every remaining flow (end of capture).
-    pub fn finish_all(mut self) -> Vec<MonitoredSession> {
+    /// Finalizes every remaining flow (end of capture), including flows
+    /// evicted at the cap since the last `finish_idle`.
+    pub fn finish_all(&mut self) -> Vec<MonitoredSession> {
+        let mut out = std::mem::take(&mut self.evicted);
         let keys: Vec<FiveTuple> = self.flows.keys().copied().collect();
-        keys.into_iter()
-            .map(|k| {
-                let entry = self.flows.remove(&k).expect("key present");
-                self.finalize(entry)
-            })
-            .collect()
+        for key in keys {
+            let entry = self.flows.remove(&key).expect("key present");
+            self.expiry.remove(&key);
+            out.push(self.finalize(entry));
+        }
+        out
     }
 
-    fn finalize(&self, entry: FlowEntry<'b>) -> MonitoredSession {
+    /// Finalizes the least-recently-seen flow to make room at the cap.
+    fn evict_least_recent(&mut self) {
+        if let Some(key) = self.expiry.pop_least_recent() {
+            let entry = self.flows.remove(&key).expect("wheel and table in sync");
+            let session = self.finalize(entry);
+            self.evicted.push(session);
+            self.evicted_flows += 1;
+        }
+    }
+
+    fn finalize(&mut self, entry: FlowEntry<'b>) -> MonitoredSession {
+        self.finalized_flows += 1;
         let confirmed = self.filter.confirm(&entry.stats);
         MonitoredSession {
             tuple: entry.down_tuple,
@@ -235,13 +338,18 @@ mod tests {
         let s1 = session(1, GameTitle::Fortnite);
         let s2 = session(2, GameTitle::GenshinImpact);
 
-        // Interleave the two sessions on one tap, s2 starting 7 s later.
+        // Interleave the two sessions on one tap, s2 starting 7 s later,
+        // plus non-gaming chatter that the filter must reject.
         let mut feed: Vec<(Micros, FiveTuple, u32)> = Vec::new();
         for p in &s1.packets {
             feed.push((p.ts, wire(&s1, p), p.payload_len));
         }
         for p in &s2.packets {
             feed.push((p.ts + 7_000_000, wire(&s2, p), p.payload_len));
+        }
+        let dns = FiveTuple::udp_v4([8, 8, 8, 8], 53, [100, 64, 1, 1], 40_000);
+        for i in 0..250u64 {
+            feed.push((i * 100_000, dns, 120));
         }
         feed.sort_by_key(|(ts, _, _)| *ts);
 
@@ -250,6 +358,15 @@ mod tests {
             monitor.ingest(*ts, tuple, *len);
         }
         assert_eq!(monitor.active_flows(), 2);
+        // The non-gaming flow was counted and dropped, nothing else.
+        assert_eq!(monitor.ignored_packets(), 250);
+        let stats = monitor.stats();
+        assert_eq!(stats.ignored_packets, 250);
+        assert_eq!(
+            stats.ingested_packets as usize,
+            feed.len() - 250,
+            "every gaming packet reaches an analyzer"
+        );
         let mut out = monitor.finish_all();
         out.sort_by_key(|m| m.started_at);
         assert_eq!(out.len(), 2);
@@ -260,11 +377,7 @@ mod tests {
         assert_eq!(out[1].report.title.title, solo(&s2));
         assert!(out.iter().all(|m| m.confirmed));
         assert!(out.iter().all(|m| m.platform == Platform::GeForceNow));
-        assert_eq!(monitor_ignored(&feed), 0);
-    }
-
-    fn monitor_ignored(_: &[(Micros, FiveTuple, u32)]) -> u64 {
-        0
+        assert_eq!(monitor.stats().finalized_flows, 2);
     }
 
     #[test]
@@ -296,6 +409,65 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(monitor.active_flows(), 0);
         assert!(out[0].confirmed);
+    }
+
+    #[test]
+    fn finish_idle_work_scales_with_due_flows() {
+        // Many live flows, one idle: the expiry pass must not examine the
+        // whole table (the old implementation scanned every flow).
+        let b = bundle();
+        let mut monitor = TapMonitor::new(&b, MonitorConfig::default());
+        let mk = |i: u16| FiveTuple::udp_v4([10, 0, 0, 1], 49003, [100, 64, 1, 1], 50_000 + i);
+        monitor.ingest(0, &mk(0), 1200); // goes idle
+        for i in 1..400u16 {
+            monitor.ingest(200_000_000 + u64::from(i), &mk(i), 1200);
+        }
+        assert_eq!(monitor.active_flows(), 400);
+        let before = monitor.stats().expiry_entries_scanned;
+        let out = monitor.finish_idle(100_000_000);
+        assert_eq!(out.len(), 1);
+        let examined = monitor.stats().expiry_entries_scanned - before;
+        assert!(
+            examined < 10,
+            "examined {examined} wheel entries to expire 1 of 400 flows"
+        );
+        assert_eq!(monitor.active_flows(), 399);
+    }
+
+    #[test]
+    fn cap_evicts_least_recently_seen() {
+        let b = bundle();
+        let config = MonitorConfig {
+            max_flows: 2,
+            ..MonitorConfig::default()
+        };
+        let mut monitor = TapMonitor::new(&b, config);
+        let mk = |i: u16| FiveTuple::udp_v4([10, 0, 0, 1], 49003, [100, 64, 1, 1], 50_000 + i);
+        monitor.ingest(1_000, &mk(0), 1200);
+        monitor.ingest(2_000, &mk(1), 1200);
+        monitor.ingest(3_000, &mk(0), 1200); // flow 0 seen again: flow 1 is now LRS
+        assert_eq!(monitor.active_flows(), 2);
+        assert_eq!(monitor.stats().evicted_flows, 0);
+
+        // A third flow at the cap evicts the least-recently-seen (flow 1).
+        monitor.ingest(4_000, &mk(2), 1200);
+        assert_eq!(monitor.active_flows(), 2);
+        let stats = monitor.stats();
+        assert_eq!(stats.evicted_flows, 1);
+        assert_eq!(stats.finalized_flows, 1);
+
+        // The evicted session surfaces on the next finalize call and is the
+        // right flow.
+        let out = monitor.finish_idle(5_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple.normalized(), mk(1).normalized());
+        // Remaining flows are 0 and 2.
+        let mut rest = monitor.finish_all();
+        rest.sort_by_key(|m| m.started_at);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].tuple.normalized(), mk(0).normalized());
+        assert_eq!(rest[1].tuple.normalized(), mk(2).normalized());
+        assert_eq!(monitor.stats().finalized_flows, 3);
     }
 
     #[test]

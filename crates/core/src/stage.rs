@@ -87,7 +87,7 @@ mod tests {
     /// [down Mbps rel, down pps rel, up Mbps rel, up pps rel].
     fn synth_features(stage: Stage, rng: &mut StdRng) -> [f64; 4] {
         let noisy =
-            |base: f64, rng: &mut StdRng| (base + rng.gen_range(-0.06..0.06)).clamp(0.0, 1.0);
+            |base: f64, rng: &mut StdRng| (base + rng.gen_range(-0.06f64..0.06)).clamp(0.0, 1.0);
         match stage {
             Stage::Active => [
                 noisy(0.95, rng),

@@ -521,10 +521,7 @@ mod diurnal_tests {
         // Evening (18-20h) clearly busier than pre-dawn (02-04h).
         let evening: f64 = profile[18..21].iter().map(|p| p.mean_concurrent).sum();
         let night: f64 = profile[2..5].iter().map(|p| p.mean_concurrent).sum();
-        assert!(
-            evening > 3.0 * night,
-            "evening {evening} vs night {night}"
-        );
+        assert!(evening > 3.0 * night, "evening {evening} vs night {night}");
         // Aggregate load is consistent with concurrency x typical bitrate.
         for p in &profile {
             if p.mean_concurrent > 0.01 {

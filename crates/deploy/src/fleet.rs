@@ -163,7 +163,7 @@ fn sample_arrival(days: u32, rng: &mut StdRng) -> u64 {
 
 fn sample_duration_secs(kind: &TitleKind, scale: f64, rng: &mut StdRng) -> f64 {
     let p = TitleProfile::of_kind(kind);
-    let mins = (p.session_minutes_mean + rng.gen_range(-1.0..1.0) * p.session_minutes_std)
+    let mins = (p.session_minutes_mean + rng.gen_range(-1.0f64..1.0) * p.session_minutes_std)
         .clamp(p.session_minutes_mean * 0.3, p.session_minutes_mean * 2.5);
     (mins * 60.0 * scale).max(120.0)
 }
@@ -276,9 +276,10 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots = parking_lot::Mutex::new(&mut records);
 
-    crossbeam::thread::scope(|scope| {
+    // Scoped workers: a panicking worker propagates when the scope joins.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut generator = SessionGenerator::new();
                 loop {
                     let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -290,13 +291,87 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
                 }
             });
         }
-    })
-    .expect("fleet worker panicked");
+    });
 
     records
         .into_iter()
         .map(|r| r.expect("all sessions completed"))
         .collect()
+}
+
+/// Tap-fleet configuration: many subscribers' sessions interleaved on one
+/// simulated ISP link, demultiplexed by the sharded tap front end.
+#[derive(Debug, Clone, Copy)]
+pub struct TapFleetConfig {
+    /// Number of concurrent subscriber sessions on the tap.
+    pub n_sessions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Gameplay seconds per session.
+    pub gameplay_secs: f64,
+    /// Session starts are staggered by this many microseconds.
+    pub stagger: u64,
+    /// Worker shards of the front end.
+    pub shards: usize,
+}
+
+impl Default for TapFleetConfig {
+    fn default() -> Self {
+        TapFleetConfig {
+            n_sessions: 8,
+            seed: 20241201,
+            gameplay_secs: 30.0,
+            stagger: 2_000_000,
+            shards: 4,
+        }
+    }
+}
+
+/// Interleaves `n_sessions` popularity-sampled sessions on one tap and runs
+/// the feed through a [`ShardedTapMonitor`], returning the per-session
+/// reports (sorted by flow start) and the front end's observability
+/// snapshot — the deployment analogue of [`run_fleet`], exercised through
+/// the packet path instead of per-session analyzers.
+pub fn run_tap_fleet(
+    bundle: &std::sync::Arc<ModelBundle>,
+    cfg: &TapFleetConfig,
+) -> (Vec<cgc_core::MonitoredSession>, cgc_core::MonitorStats) {
+    use nettrace::packet::{Direction, FiveTuple};
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9_0000);
+    let mut generator = SessionGenerator::new();
+    let mut feed: Vec<(u64, FiveTuple, u32)> = Vec::new();
+    for i in 0..cfg.n_sessions as u64 {
+        let fleet_cfg = FleetConfig::default();
+        let kind = sample_kind(&mut rng, &fleet_cfg);
+        let session = generator.generate(&SessionConfig {
+            kind,
+            settings: sample_lab_settings(&mut rng),
+            gameplay_secs: cfg.gameplay_secs,
+            fidelity: Fidelity::FullPackets,
+            seed: cfg.seed.wrapping_add(i.wrapping_mul(0x51ed_270b)),
+        });
+        let offset = i * cfg.stagger;
+        for p in &session.packets {
+            let tuple = match p.dir {
+                Direction::Downstream => session.tuple,
+                Direction::Upstream => session.tuple.reversed(),
+            };
+            feed.push((p.ts + offset, tuple, p.payload_len));
+        }
+    }
+    feed.sort_by_key(|(ts, _, _)| *ts);
+
+    let mut monitor = cgc_core::ShardedTapMonitor::new(
+        std::sync::Arc::clone(bundle),
+        cgc_core::ShardedMonitorConfig::with_shards(cfg.shards),
+    );
+    for (ts, tuple, len) in &feed {
+        monitor.ingest(*ts, tuple, *len);
+    }
+    let (mut sessions, stats) = monitor.finish_all();
+    sessions.sort_by_key(|m| m.started_at);
+    (sessions, stats)
 }
 
 #[cfg(test)]
@@ -360,6 +435,25 @@ mod tests {
         let correct = known.iter().filter(|r| r.title_correct()).count();
         let acc = correct as f64 / known.len().max(1) as f64;
         assert!(acc > 0.7, "fleet title accuracy {acc}");
+    }
+
+    #[test]
+    fn tap_fleet_demultiplexes_every_session() {
+        let bundle = std::sync::Arc::new(train_bundle(&TrainConfig::quick()));
+        let cfg = TapFleetConfig {
+            n_sessions: 6,
+            gameplay_secs: 15.0,
+            shards: 3,
+            ..Default::default()
+        };
+        let (sessions, stats) = run_tap_fleet(&bundle, &cfg);
+        assert_eq!(sessions.len(), 6);
+        assert!(sessions.iter().all(|m| m.confirmed));
+        let total = stats.total();
+        assert_eq!(total.finalized_flows, 6);
+        assert_eq!(total.ignored_packets, 0);
+        assert!(total.ingested_packets > 0);
+        assert_eq!(stats.shards(), 3);
     }
 
     #[test]

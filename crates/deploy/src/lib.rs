@@ -28,5 +28,5 @@ pub mod fleet;
 pub mod report;
 pub mod train;
 
-pub use fleet::{run_fleet, FleetConfig, SessionRecord};
+pub use fleet::{run_fleet, run_tap_fleet, FleetConfig, SessionRecord, TapFleetConfig};
 pub use train::{train_bundle, TrainConfig};

@@ -69,6 +69,37 @@ pub fn results_dir() -> std::path::PathBuf {
         .unwrap_or_else(|| Path::new("results").to_path_buf())
 }
 
+/// Renders a sharded-monitor observability snapshot as an aligned table:
+/// one row per worker shard plus a totals row — what an operator's
+/// dashboard would show for the tap front end.
+pub fn monitor_stats_table(stats: &cgc_core::MonitorStats) -> String {
+    let row = |name: String, s: &cgc_core::ShardStats| -> Vec<String> {
+        vec![
+            name,
+            s.ingested_packets.to_string(),
+            s.ignored_packets.to_string(),
+            s.batches.to_string(),
+            s.active_flows.to_string(),
+            s.finalized_flows.to_string(),
+            s.evicted_flows.to_string(),
+            s.expiry_entries_scanned.to_string(),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = stats
+        .per_shard
+        .iter()
+        .enumerate()
+        .map(|(i, s)| row(format!("shard {i}"), s))
+        .collect();
+    rows.push(row("total".into(), &stats.total()));
+    table(
+        &[
+            "shard", "ingested", "ignored", "batches", "active", "final", "evicted", "scanned",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +132,30 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(pct(0.953), "95.3%");
+    }
+
+    #[test]
+    fn monitor_stats_table_has_shard_and_total_rows() {
+        let mut stats = cgc_core::MonitorStats::default();
+        for i in 0..2u64 {
+            stats.per_shard.push(cgc_core::ShardStats {
+                ingested_packets: 100 + i,
+                ignored_packets: 5,
+                active_flows: 3,
+                finalized_flows: 7,
+                evicted_flows: 1,
+                expiry_entries_scanned: 12,
+                batches: 4,
+            });
+        }
+        let t = monitor_stats_table(&stats);
+        let lines: Vec<&str> = t.lines().collect();
+        // header + rule + 2 shard rows + total row
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with("shard 0"));
+        assert!(lines[4].starts_with("total"));
+        assert!(lines[4].contains("201")); // 100 + 101 ingested
+        assert!(lines[4].contains("14")); // 7 + 7 finalized
     }
 
     #[test]

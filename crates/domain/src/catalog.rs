@@ -191,8 +191,9 @@ impl std::fmt::Display for ActivityPattern {
     }
 }
 
-/// One row of the Table 1 catalog.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One row of the Table 1 catalog. Serializable for report output; never
+/// deserialized (the catalog is a compile-time constant).
+#[derive(Debug, Clone, Serialize)]
 pub struct CatalogEntry {
     /// Title enum value.
     pub title: GameTitle,

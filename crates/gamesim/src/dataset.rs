@@ -67,7 +67,7 @@ pub fn sample_lab_settings(rng: &mut StdRng) -> StreamSettings {
         .unwrap();
     let resolution = Resolution::ALL[rng.gen_range(lo..=hi)];
     let fps = *[30u32, 60, 120]
-        .get(rng.gen_range(0..3))
+        .get(rng.gen_range(0..3usize))
         .expect("fps option");
     StreamSettings {
         platform: cgc_domain::Platform::GeForceNow,

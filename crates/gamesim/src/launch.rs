@@ -335,10 +335,12 @@ mod tests {
             .filter(|p| p.payload_len == FULL_PAYLOAD)
             .count();
         assert!(full as f64 / pkts.len() as f64 > 0.2);
-        // Spans the expected duration.
+        // Spans the expected duration. A degraded session stretches the
+        // schedule by up to pace 1.35 plus a 3.5 s phase shift, so bound by
+        // that envelope rather than the nominal length.
         let last = pkts.last().unwrap().ts;
         let expect = sig.duration_secs() as u64 * MICROS_PER_SEC;
-        assert!(last <= expect + 500_000);
+        assert!(last <= (expect as f64 * 1.35) as u64 + 4_000_000);
         assert!(last >= expect / 2);
     }
 

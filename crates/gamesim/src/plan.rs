@@ -223,7 +223,7 @@ impl GameplayPlan {
                 let pkts_per_frame = (frame_bytes / f64::from(self.max_payload)).ceil().max(1.0);
                 let down_pkts = (frames * pkts_per_frame).round();
                 // Inputs arrive as a point process: quasi-Poisson counts.
-                let up_pkts = (t.up_pkts * rng.gen_range(0.5..1.5)).round();
+                let up_pkts = (t.up_pkts * rng.gen_range(0.5f64..1.5)).round();
                 VolSample {
                     down_bytes: (payload + OVERHEAD * down_pkts).round() as u64,
                     down_pkts: down_pkts as u64,
@@ -259,7 +259,7 @@ impl GameplayPlan {
                     let jitter = rng.gen_range(0..(gap / 4).max(1));
                     let frame_ts = sub_start + f as u64 * gap + jitter;
                     // Size varies per frame (I/P frames): lognormal-ish.
-                    let b = (frame_bytes * rng.gen_range(0.6..1.4)).max(200.0);
+                    let b = (frame_bytes * rng.gen_range(0.6f64..1.4)).max(200.0);
                     let max_payload = self.max_payload;
                     let n_full = (b / f64::from(max_payload)) as usize;
                     let remainder = (b - n_full as f64 * f64::from(max_payload)) as u32;
@@ -271,7 +271,7 @@ impl GameplayPlan {
                         p.rtp_ts = (frame_ts / 11) as u32; // ~90 kHz clock
                         p.marker = k == n_full.saturating_sub(1) && remainder < 60;
                         out.push(p);
-                        pkt_ts += rng.gen_range(80..400);
+                        pkt_ts += rng.gen_range(80u64..400);
                     }
                     if remainder >= 60 || n_full == 0 {
                         let mut p = Packet::new(pkt_ts, Direction::Downstream, remainder.max(60));

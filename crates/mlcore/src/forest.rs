@@ -213,8 +213,8 @@ mod tests {
             let c = rng.gen_range(0..3);
             let (cx, cy) = centers[c];
             x.push(vec![
-                cx + rng.gen_range(-1.0..1.0),
-                cy + rng.gen_range(-1.0..1.0),
+                cx + rng.gen_range(-1.0f64..1.0),
+                cy + rng.gen_range(-1.0f64..1.0),
             ]);
             y.push(c);
         }
@@ -278,9 +278,9 @@ mod tests {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for _ in 0..200 {
-            let c = rng.gen_range(0..2);
+            let c = rng.gen_range(0..2usize);
             let base = c as f64 * 0.5;
-            x.push(vec![base + rng.gen_range(-1.0..1.0)]);
+            x.push(vec![base + rng.gen_range(-1.0f64..1.0)]);
             y.push(c);
         }
         let d = Dataset::new(x, y);
@@ -401,11 +401,11 @@ mod oob_mdi_tests {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for _ in 0..n {
-            let c = rng.gen_range(0..2);
+            let c = rng.gen_range(0..2usize);
             x.push(vec![
-                centers[c].0 + rng.gen_range(-1.0..1.0),
-                centers[c].1 + rng.gen_range(-1.0..1.0),
-                rng.gen_range(-1.0..1.0), // pure noise feature
+                centers[c].0 + rng.gen_range(-1.0f64..1.0),
+                centers[c].1 + rng.gen_range(-1.0f64..1.0),
+                rng.gen_range(-1.0f64..1.0), // pure noise feature
             ]);
             y.push(c);
         }

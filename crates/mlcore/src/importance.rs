@@ -131,9 +131,12 @@ mod tests {
 
     #[test]
     fn grouped_importance_breaks_redundancy_masking() {
-        // Two perfectly redundant informative features + one noise feature:
-        // individually each informative feature looks weak (the other
-        // covers for it), jointly they dominate.
+        // Three perfectly redundant informative features + one noise
+        // feature: individually each informative feature looks weak (the
+        // others cover for it), jointly they dominate. Three copies (not
+        // two) keep the forest's root-split votes spread thin enough that
+        // no single feature can hold a tree majority, which would let one
+        // shuffled column flip the ensemble vote on its own.
         let mut rng = StdRng::seed_from_u64(8);
         let mut x = Vec::new();
         let mut y = Vec::new();
@@ -142,6 +145,7 @@ mod tests {
             let v = c as f64 * 4.0 + rng.gen_range(-1.0..1.0);
             x.push(vec![
                 v,
+                v + rng.gen_range(-0.01..0.01),
                 v + rng.gen_range(-0.01..0.01),
                 rng.gen_range(-1.0..1.0),
             ]);
@@ -156,13 +160,14 @@ mod tests {
             },
         );
         let single = permutation_importance(&f, &d, 5, 3);
-        let grouped = permutation_importance_grouped(&f, &d, &[vec![0, 1], vec![2]], 5, 3);
-        assert!(
-            grouped[0] > single[0] + 0.1,
-            "joint {} vs single {}",
-            grouped[0],
-            single[0]
-        );
+        let grouped = permutation_importance_grouped(&f, &d, &[vec![0, 1, 2], vec![3]], 5, 3);
+        for (i, &s) in single.iter().take(3).enumerate() {
+            assert!(
+                grouped[0] > s + 0.1,
+                "joint {} vs single[{i}] {s}",
+                grouped[0]
+            );
+        }
         assert!(grouped[1] < 0.05);
     }
 

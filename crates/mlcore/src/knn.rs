@@ -108,10 +108,10 @@ mod tests {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for _ in 0..n {
-            let c = rng.gen_range(0..2);
+            let c = rng.gen_range(0..2usize);
             x.push(vec![
-                centers[c].0 + rng.gen_range(-1.0..1.0),
-                centers[c].1 + rng.gen_range(-1.0..1.0),
+                centers[c].0 + rng.gen_range(-1.0f64..1.0),
+                centers[c].1 + rng.gen_range(-1.0f64..1.0),
             ]);
             y.push(c);
         }

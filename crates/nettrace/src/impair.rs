@@ -14,8 +14,7 @@ use crate::packet::Packet;
 use crate::units::{Micros, MICROS_PER_SEC};
 
 /// Packet loss model.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// No loss.
     #[default]
@@ -36,7 +35,6 @@ pub enum LossModel {
         p_bad: f64,
     },
 }
-
 
 /// Configuration of the impairment channel.
 #[derive(Debug, Clone, PartialEq)]

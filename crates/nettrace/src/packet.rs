@@ -113,6 +113,41 @@ impl FiveTuple {
             self.reversed()
         }
     }
+
+    /// Stable 64-bit hash of the *normalized* tuple (FNV-1a over the
+    /// endpoint bytes). Both directions of a conversation hash identically,
+    /// and the value is independent of the process's `HashMap` seed, so it
+    /// can be used to partition flows across worker shards
+    /// deterministically.
+    pub fn shard_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        fn ip_bytes(ip: &IpAddr) -> [u8; 16] {
+            match ip {
+                IpAddr::V4(v4) => v4.to_ipv6_mapped().octets(),
+                IpAddr::V6(v6) => v6.octets(),
+            }
+        }
+        let n = self.normalized();
+        let mut h = FNV_OFFSET;
+        h = mix(h, &ip_bytes(&n.src_ip));
+        h = mix(h, &ip_bytes(&n.dst_ip));
+        h = mix(h, &n.src_port.to_be_bytes());
+        h = mix(h, &n.dst_port.to_be_bytes());
+        mix(h, &[n.proto as u8])
+    }
+
+    /// Shard index for a pool of `n` workers (`n = 0` is treated as 1).
+    pub fn shard(&self, n: usize) -> usize {
+        (self.shard_hash() % n.max(1) as u64) as usize
+    }
 }
 
 impl fmt::Display for FiveTuple {
@@ -208,5 +243,85 @@ mod tests {
         assert_eq!(format!("{t}"), "UDP 10.0.0.1:443 -> 1.2.3.4:999");
         assert_eq!(format!("{}", Direction::Downstream), "down");
         assert_eq!(format!("{}", Protocol::Tcp), "TCP");
+    }
+
+    #[test]
+    fn shard_hash_matches_both_directions() {
+        let t = FiveTuple::udp_v4([10, 0, 0, 1], 49003, [192, 168, 1, 5], 50123);
+        assert_eq!(t.shard_hash(), t.reversed().shard_hash());
+        assert_eq!(t.shard(8), t.reversed().shard(8));
+        // Zero workers degrade to a single shard instead of dividing by 0.
+        assert_eq!(t.shard(0), 0);
+    }
+
+    #[test]
+    fn shard_hash_spreads_flows() {
+        // 4096 distinct client endpoints should not collapse onto a few
+        // shards: every shard of 8 gets a meaningful share.
+        let mut counts = [0usize; 8];
+        for a in 0..16u8 {
+            for b in 0..=255u8 {
+                let t = FiveTuple::udp_v4([10, 0, a, 1], 49003, [100, 64, a, b], 50_000);
+                counts[t.shard(8)] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 16 * 256);
+        assert!(
+            counts.iter().all(|&c| c > total / 16),
+            "unbalanced shards: {counts:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary UDP/TCP five-tuple over small IPv4 space (collisions in
+    /// the endpoint space exercise the normalization tie-breaks).
+    fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<bool>(),
+        )
+            .prop_map(|(src, dst, sp, dp, udp)| {
+                let mut t = FiveTuple::udp_v4(src.to_be_bytes(), sp, dst.to_be_bytes(), dp);
+                if !udp {
+                    t.proto = Protocol::Tcp;
+                }
+                t
+            })
+    }
+
+    proptest! {
+        /// Normalization is idempotent: applying it twice is the same as
+        /// once.
+        #[test]
+        fn normalized_is_idempotent(t in arb_tuple()) {
+            let n = t.normalized();
+            prop_assert_eq!(n.normalized(), n);
+        }
+
+        /// Normalization is direction-invariant: both orientations of a
+        /// conversation share the canonical key.
+        #[test]
+        fn normalized_is_direction_invariant(t in arb_tuple()) {
+            prop_assert_eq!(t.normalized(), t.reversed().normalized());
+        }
+
+        /// Shard assignment is stable under tuple reversal, for any worker
+        /// pool size: upstream and downstream packets of one conversation
+        /// always land on the same worker.
+        #[test]
+        fn shard_is_stable_under_reversal(t in arb_tuple(), n in 1usize..64) {
+            prop_assert_eq!(t.shard_hash(), t.reversed().shard_hash());
+            prop_assert_eq!(t.shard(n), t.reversed().shard(n));
+            prop_assert!(t.shard(n) < n);
+        }
     }
 }

@@ -1,23 +1,26 @@
 //! Tap monitor: the deployment front end. Three subscribers' sessions plus
-//! unrelated traffic interleave on one simulated ISP link; the monitor
-//! detects the gaming flows by platform signature, demultiplexes them into
-//! per-flow analyzers, and emits a context report per session as flows go
-//! idle.
+//! unrelated traffic interleave on one simulated ISP link; the sharded
+//! monitor hashes each flow to a worker shard, detects the gaming flows by
+//! platform signature, demultiplexes them into per-flow analyzers, and
+//! emits a context report per session as flows go idle.
 //!
 //! ```text
 //! cargo run --release --example tap_monitor
 //! ```
 
+use std::sync::Arc;
+
+use gamescope::deploy::report::monitor_stats_table;
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, StreamSettings};
-use gamescope::pipeline::monitor::{MonitorConfig, TapMonitor};
+use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
 use gamescope::sim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
 use gamescope::trace::packet::{Direction, FiveTuple};
 use gamescope::trace::units::Micros;
 
 fn main() {
     println!("training models (quick config)...");
-    let bundle = train_bundle(&TrainConfig::quick());
+    let bundle = Arc::new(train_bundle(&TrainConfig::quick()));
 
     // Three subscribers start sessions at different times.
     let mut generator = SessionGenerator::new();
@@ -54,18 +57,23 @@ fn main() {
     feed.sort_by_key(|(ts, _, _)| *ts);
     println!("tap feed: {} packets from 4 flows\n", feed.len());
 
-    let mut monitor = TapMonitor::new(&bundle, MonitorConfig::default());
+    let mut monitor =
+        ShardedTapMonitor::new(Arc::clone(&bundle), ShardedMonitorConfig::with_shards(4));
     for (ts, tuple, len) in &feed {
         monitor.ingest(*ts, tuple, *len);
     }
+    let live = monitor.stats().total();
     println!(
         "monitor: {} gaming flows tracked, {} non-gaming packets ignored",
-        monitor.active_flows(),
-        monitor.ignored_packets()
+        live.active_flows, live.ignored_packets
     );
 
-    let mut out = monitor.finish_all();
+    let (mut out, stats) = monitor.finish_all();
     out.sort_by_key(|m| m.started_at);
+    println!(
+        "\nfront-end shard counters:\n{}",
+        monitor_stats_table(&stats)
+    );
     println!("\nper-session reports:");
     for m in &out {
         println!(

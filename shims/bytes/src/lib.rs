@@ -1,0 +1,75 @@
+//! Offline `bytes` shim: the `Buf`/`BufMut` trait subset used by the RTP
+//! codec — network-byte-order reads over `&[u8]` and writes into `Vec<u8>`.
+
+/// Sequential big-endian reader. Implemented for `&[u8]`, advancing the
+/// slice in place. Reads past the end panic, as upstream does.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16(&mut self) -> u16;
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes([head[0], head[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes([head[0], head[1], head[2], head[3]])
+    }
+}
+
+/// Sequential big-endian writer. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xdeadbeef);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdeadbeef);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline `criterion` shim: a minimal wall-clock benchmark harness with
+//! the API subset this workspace's benches use (`bench_function`,
+//! `benchmark_group` with `sample_size`/`throughput`, `criterion_group!`,
+//! `criterion_main!`, `black_box`). Results print as `ns/iter` plus
+//! element/byte throughput when configured; there is no statistical
+//! analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured quantity per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~10 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples.max(1) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.result_ns = best;
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.0} elem/s", n as f64 * 1e9 / ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:.2} MiB/s",
+                n as f64 * 1e9 / ns / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} time: {time}/iter{rate}");
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.result_ns, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.result_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function running each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = super::Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(super::Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

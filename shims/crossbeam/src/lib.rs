@@ -1,0 +1,102 @@
+//! Offline `crossbeam` shim.
+//!
+//! `channel::{unbounded, bounded}` over `std::sync::mpsc` — multi-producer
+//! single-consumer, which covers this workspace's fan-out patterns (each
+//! shard worker owns its receiver). Scoped threads are available directly
+//! from `std::thread::scope` (stable since 1.63), so no `thread` module is
+//! shimmed.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Cloneable sending half.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half (single consumer).
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Channel with unbounded buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Channel that blocks senders beyond `cap` queued messages.
+    pub struct SyncSender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            SyncSender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (SyncSender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channels_deliver_in_order() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline `serde_json` shim: text encoding over the `serde` shim's
+//! [`Value`] tree. Covers `to_string`, `to_string_pretty`, `from_str`.
+
+pub use serde::{Error, Value};
+
+/// Result alias matching upstream's `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::write_compact(&value.to_value()))
+}
+
+/// Serializes a value to indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::write_pretty(&value.to_value()))
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&serde::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weights: Vec<f64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        One(u32),
+        Named { a: i64, b: bool },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: u64,
+        ratio: f64,
+        inner: Inner,
+        shapes: Vec<Shape>,
+        opt: Option<u8>,
+        fixed: [f64; 3],
+        addr: std::net::IpAddr,
+        pair: (u16, String),
+    }
+
+    #[test]
+    fn roundtrips_struct_graph() {
+        let v = Outer {
+            id: u64::MAX,
+            ratio: 0.1,
+            inner: Inner {
+                label: "he\"llo\n\u{1f600}".into(),
+                weights: vec![1.5, -2.25, 1e-9],
+            },
+            shapes: vec![Shape::Unit, Shape::One(7), Shape::Named { a: -3, b: true }],
+            opt: None,
+            fixed: [1.0, 2.0, 3.0],
+            addr: "10.0.0.1".parse().unwrap(),
+            pair: (80, "x".into()),
+        };
+        let json = super::to_string(&v).unwrap();
+        let back: Outer = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let pretty = super::to_string_pretty(&v).unwrap();
+        let back2: Outer = super::from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn integers_are_exact() {
+        let json = super::to_string(&vec![u64::MAX, 0, 1 << 60]).unwrap();
+        let back: Vec<u64> = super::from_str(&json).unwrap();
+        assert_eq!(back, vec![u64::MAX, 0, 1 << 60]);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        let xs = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0];
+        let json = super::to_string(&xs).unwrap();
+        let back: Vec<f64> = super::from_str(&json).unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f64::INFINITY);
+        assert_eq!(back[2], f64::NEG_INFINITY);
+        assert_eq!(back[3], 1.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(super::from_str::<u32>("{").is_err());
+        assert!(super::from_str::<u32>("true").is_err());
+        assert!(super::from_str::<Vec<u8>>("[1,2,999]").is_err());
+    }
+}

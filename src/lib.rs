@@ -1,0 +1,22 @@
+//! # gamescope — facade crate
+//!
+//! Re-exports the workspace crates under short, stable names so examples
+//! and downstream users have a single dependency:
+//!
+//! * [`domain`] — shared vocabulary (titles, stages, settings, QoE levels)
+//! * [`trace`] — packet/flow model, RTP codec, pcap I/O, impairments
+//! * [`sim`] — synthetic session and traffic generator
+//! * [`ml`] — from-scratch statistical ML (forests, SVM, KNN, metrics)
+//! * [`features`] — packet-group, launch, volumetric and transition features
+//! * [`pipeline`] — the real-time context classification pipeline
+//! * [`deploy`] — training, fleet simulation and aggregate reporting
+
+#![warn(missing_docs)]
+
+pub use cgc_core as pipeline;
+pub use cgc_deploy as deploy;
+pub use cgc_domain as domain;
+pub use cgc_features as features;
+pub use gamesim as sim;
+pub use mlcore as ml;
+pub use nettrace as trace;
