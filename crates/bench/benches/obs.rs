@@ -1,0 +1,83 @@
+//! Telemetry primitive costs: the per-event operations every hot-path
+//! call site pays (counter increment, histogram record, span timing) and
+//! the cold-path operations the scrape/report side pays (registry lookup,
+//! snapshot, Prometheus rendering). The per-event rows must stay in the
+//! low-nanosecond range — they run once per packet on the tap path.
+
+use cgc_obs::{export, Counter, Histogram, Registry};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const EVENTS: u64 = 1_000_000;
+
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_hot_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EVENTS));
+
+    g.bench_function("counter_inc_1m", |b| {
+        let counter = Counter::new();
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+
+    g.bench_function("histogram_record_1m", |b| {
+        let hist = Histogram::new();
+        b.iter(|| {
+            for i in 0..EVENTS {
+                // Spread across octaves the way latencies do.
+                hist.record(black_box(17 + (i % 1024) * 97));
+            }
+            black_box(hist.count())
+        })
+    });
+
+    g.bench_function("span_record_1m", |b| {
+        let hist = Histogram::new();
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                let span = hist.span();
+                span.finish();
+            }
+            black_box(hist.count())
+        })
+    });
+    g.finish();
+
+    // A populated registry the size of a full pipeline deployment.
+    let registry = Registry::new();
+    for i in 0..24 {
+        registry
+            .counter(&format!("cgc_bench_counter_{i}_total"), "bench")
+            .add(i);
+    }
+    for i in 0..8 {
+        let h = registry.histogram(&format!("cgc_bench_hist_{i}_ns"), "bench");
+        for v in 0..4096u64 {
+            h.record(v * 131);
+        }
+    }
+
+    let mut g = c.benchmark_group("obs_cold_path");
+    g.sample_size(10);
+    g.bench_function("registry_lookup_hit", |b| {
+        b.iter(|| black_box(registry.counter("cgc_bench_counter_7_total", "bench").get()))
+    });
+    g.bench_function("snapshot_32_series", |b| {
+        b.iter(|| black_box(registry.snapshot().metrics.len()))
+    });
+    let snapshot = registry.snapshot();
+    g.bench_function("prometheus_render_32_series", |b| {
+        b.iter(|| black_box(export::prometheus(&snapshot).len()))
+    });
+    g.bench_function("json_render_32_series", |b| {
+        b.iter(|| black_box(export::json(&snapshot).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -35,6 +35,7 @@
 pub mod bundle;
 pub mod expiry;
 pub mod filter;
+pub mod metrics;
 pub mod monitor;
 pub mod pattern;
 pub mod pipeline;
@@ -46,6 +47,7 @@ pub mod title;
 pub use bundle::ModelBundle;
 pub use expiry::ExpiryWheel;
 pub use filter::{CloudGamingFilter, FilterConfig, Platform};
+pub use metrics::{MonitorMetrics, PipelineMetrics};
 pub use monitor::{MonitorConfig, MonitoredSession, ShardStats, TapMonitor};
 pub use pattern::{PatternInferrer, PatternInferrerConfig, PatternPrediction, PatternTracker};
 pub use pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};

@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::bundle::ModelBundle;
 use crate::expiry::ExpiryWheel;
 use crate::filter::{CloudGamingFilter, FilterConfig, Platform};
+use crate::metrics::{MonitorMetrics, PipelineMetrics};
 use crate::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
 
 /// Tap monitor configuration.
@@ -142,11 +143,47 @@ pub struct TapMonitor<'b> {
     finalized_flows: u64,
     evicted_flows: u64,
     batches: u64,
+    metrics: MonitorMetrics,
+    pipeline_metrics: PipelineMetrics,
+    /// Wheel-scan count already published to the registry counter.
+    expiry_published: u64,
 }
 
 impl<'b> TapMonitor<'b> {
-    /// A monitor over a trained bundle.
+    /// A monitor over a trained bundle, recording telemetry into the
+    /// process-wide registry.
     pub fn new(bundle: &'b ModelBundle, config: MonitorConfig) -> Self {
+        Self::with_metrics(
+            bundle,
+            config,
+            MonitorMetrics::global().clone(),
+            PipelineMetrics::global().clone(),
+        )
+    }
+
+    /// A monitor recording telemetry into `registry` instead of the
+    /// process-wide one (used by tests and tools that need isolation).
+    pub fn with_registry(
+        bundle: &'b ModelBundle,
+        config: MonitorConfig,
+        registry: &cgc_obs::Registry,
+    ) -> Self {
+        Self::with_metrics(
+            bundle,
+            config,
+            MonitorMetrics::register(registry),
+            PipelineMetrics::register(registry),
+        )
+    }
+
+    /// A monitor recording telemetry into injected handles (used by
+    /// tests and tools that need an isolated registry).
+    pub fn with_metrics(
+        bundle: &'b ModelBundle,
+        config: MonitorConfig,
+        metrics: MonitorMetrics,
+        pipeline_metrics: PipelineMetrics,
+    ) -> Self {
         TapMonitor {
             bundle,
             config,
@@ -159,6 +196,9 @@ impl<'b> TapMonitor<'b> {
             finalized_flows: 0,
             evicted_flows: 0,
             batches: 0,
+            metrics,
+            pipeline_metrics,
+            expiry_published: 0,
         }
     }
 
@@ -174,30 +214,43 @@ impl<'b> TapMonitor<'b> {
             (wire_tuple.reversed(), p, Direction::Upstream)
         } else {
             self.ignored_packets += 1;
+            self.metrics.ignored.inc();
             return;
         };
         if self.filter.pre_check(&down_tuple).is_none() {
             self.ignored_packets += 1;
+            self.metrics.ignored.inc();
             return;
         }
 
         let key = down_tuple.normalized();
-        if !self.flows.contains_key(&key) && self.flows.len() >= self.config.max_flows.max(1) {
+        let is_new = !self.flows.contains_key(&key);
+        if is_new && self.flows.len() >= self.config.max_flows.max(1) {
             self.evict_least_recent();
         }
         let config = &self.config;
         let bundle = self.bundle;
+        let pipeline_metrics = &self.pipeline_metrics;
         let entry = self.flows.entry(key).or_insert_with(|| FlowEntry {
-            analyzer: SessionAnalyzer::new(bundle, config.analyzer, config.qoe),
+            analyzer: SessionAnalyzer::with_metrics(
+                bundle,
+                config.analyzer,
+                config.qoe,
+                pipeline_metrics.clone(),
+            ),
             down_tuple,
             platform,
             started_at: ts,
             last_seen: ts,
             stats: FlowStats::default(),
         });
+        if is_new {
+            self.metrics.active_flows.inc();
+        }
         entry.last_seen = ts;
         self.expiry.touch(key, ts);
         self.ingested_packets += 1;
+        self.metrics.ingested.inc();
         // Rebase to flow-relative time for the analyzer.
         let mut pkt = Packet::new(ts.saturating_sub(entry.started_at), dir, payload_len);
         pkt.marker = false;
@@ -214,9 +267,13 @@ impl<'b> TapMonitor<'b> {
     /// counting it in [`ShardStats::batches`].
     pub fn ingest_batch(&mut self, records: &[(Micros, FiveTuple, u32)]) {
         self.batches += 1;
+        self.metrics.batches.inc();
+        let batch_ns = std::sync::Arc::clone(&self.metrics.batch_ns);
+        let span = batch_ns.span();
         for (ts, tuple, len) in records {
             self.ingest(*ts, tuple, *len);
         }
+        span.finish();
     }
 
     /// Overrides the QoS context of one flow (e.g. when the gray-box QoE
@@ -262,6 +319,7 @@ impl<'b> TapMonitor<'b> {
             let entry = self.flows.remove(&key).expect("wheel and table in sync");
             out.push(self.finalize(entry));
         }
+        self.publish_expiry_scans();
         out
     }
 
@@ -275,7 +333,20 @@ impl<'b> TapMonitor<'b> {
             self.expiry.remove(&key);
             out.push(self.finalize(entry));
         }
+        self.publish_expiry_scans();
         out
+    }
+
+    /// Publishes wheel-scan work accumulated since the last call to the
+    /// registry counter (the wheel keeps the cumulative count used by
+    /// [`ShardStats`]).
+    fn publish_expiry_scans(&mut self) {
+        let scanned = self.expiry.entries_scanned();
+        let delta = scanned.saturating_sub(self.expiry_published);
+        if delta > 0 {
+            self.metrics.expiry_scanned.add(delta);
+            self.expiry_published = scanned;
+        }
     }
 
     /// Finalizes the least-recently-seen flow to make room at the cap.
@@ -285,11 +356,15 @@ impl<'b> TapMonitor<'b> {
             let session = self.finalize(entry);
             self.evicted.push(session);
             self.evicted_flows += 1;
+            self.metrics.evicted.inc();
         }
+        self.publish_expiry_scans();
     }
 
     fn finalize(&mut self, entry: FlowEntry<'b>) -> MonitoredSession {
         self.finalized_flows += 1;
+        self.metrics.finalized.inc();
+        self.metrics.active_flows.dec();
         let confirmed = self.filter.confirm(&entry.stats);
         MonitoredSession {
             tuple: entry.down_tuple,

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use cgc_features::vol_attrs::{raw_features, StageFeatureExtractor};
 
 use crate::bundle::ModelBundle;
+use crate::metrics::PipelineMetrics;
 use crate::pattern::{PatternPrediction, PatternTracker};
 use crate::qoe::{effective_qoe, majority_level, objective_qoe, GameContext, QosMetrics};
 use crate::title::TitlePrediction;
@@ -112,6 +113,11 @@ impl SessionReport {
     }
 }
 
+/// The per-slot latency histograms (`cgc_pipeline_feature_ns`,
+/// `cgc_pipeline_stage_infer_ns`) time one of every this many classified
+/// slots.
+pub const LATENCY_SAMPLE: u64 = 8;
+
 /// Per-session pipeline state.
 pub struct SessionAnalyzer<'b> {
     bundle: &'b ModelBundle,
@@ -123,6 +129,11 @@ pub struct SessionAnalyzer<'b> {
     stage_slots: Vec<Stage>,
     qoe_slots: Vec<(QoeLevel, QoeLevel)>,
     qoe: QoeInputs,
+    metrics: PipelineMetrics,
+    pattern_recorded: bool,
+    /// Classified slots seen so far, for 1-in-[`LATENCY_SAMPLE`] latency
+    /// span sampling.
+    latency_tick: u64,
     total_down_bytes: u64,
     slots_seen: usize,
     // Streaming (per-packet) ingestion state.
@@ -133,8 +144,20 @@ pub struct SessionAnalyzer<'b> {
 }
 
 impl<'b> SessionAnalyzer<'b> {
-    /// A fresh analyzer against a trained bundle.
+    /// A fresh analyzer against a trained bundle, recording telemetry
+    /// into the process-wide registry.
     pub fn new(bundle: &'b ModelBundle, config: AnalyzerConfig, qoe: QoeInputs) -> Self {
+        Self::with_metrics(bundle, config, qoe, PipelineMetrics::global().clone())
+    }
+
+    /// A fresh analyzer recording telemetry into injected handles (used
+    /// by tests and tools that need an isolated registry).
+    pub fn with_metrics(
+        bundle: &'b ModelBundle,
+        config: AnalyzerConfig,
+        qoe: QoeInputs,
+        metrics: PipelineMetrics,
+    ) -> Self {
         SessionAnalyzer {
             bundle,
             config,
@@ -145,6 +168,9 @@ impl<'b> SessionAnalyzer<'b> {
             stage_slots: Vec::new(),
             qoe_slots: Vec::new(),
             qoe,
+            metrics,
+            pattern_recorded: false,
+            latency_tick: 0,
             total_down_bytes: 0,
             slots_seen: 0,
             stream_title_buf: Vec::new(),
@@ -159,7 +185,15 @@ impl<'b> SessionAnalyzer<'b> {
     pub fn ingest_title_window(&mut self, packets: &[Packet]) -> TitlePrediction {
         let window = secs_to_micros(self.config.title_window_secs);
         let in_window: Vec<Packet> = packets.iter().copied().filter(|p| p.ts < window).collect();
-        let pred = self.bundle.title.classify(&in_window);
+        self.classify_title(&in_window)
+    }
+
+    /// Runs (and times) the title RF, recording the decision.
+    fn classify_title(&mut self, packets: &[Packet]) -> TitlePrediction {
+        let span = self.metrics.title_infer_ns.span();
+        let pred = self.bundle.title.classify(packets);
+        span.finish();
+        self.metrics.record_title(pred.title, pred.confidence);
         self.title = Some(pred);
         pred
     }
@@ -167,6 +201,7 @@ impl<'b> SessionAnalyzer<'b> {
     /// Feeds one `I`-second volumetric slot (width must equal the bundle's
     /// `stage_slot`). Returns the classified stage once seeding completes.
     pub fn push_slot(&mut self, sample: &VolSample) -> Option<Stage> {
+        self.metrics.slots.inc();
         self.slots_seen += 1;
         self.total_down_bytes += sample.down_bytes;
         let width = self.bundle.stage_slot;
@@ -185,13 +220,33 @@ impl<'b> SessionAnalyzer<'b> {
             return None;
         }
 
+        // Latency spans are sampled 1-in-N: the clock reads would otherwise
+        // dominate the per-slot cost on the tap hot path. Decision counters
+        // stay exact; only the timing histograms are sampled.
+        let sampled = self.latency_tick.is_multiple_of(LATENCY_SAMPLE);
+        self.latency_tick += 1;
+        let t0 = sampled.then(std::time::Instant::now);
         let feats = self
             .extractor
             .as_mut()
             .expect("extractor initialized")
             .push(sample);
+        let t1 = sampled.then(std::time::Instant::now);
         let stage = self.bundle.stage.classify(&feats);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let t2 = std::time::Instant::now();
+            self.metrics.feature_ns.record((t1 - t0).as_nanos() as u64);
+            self.metrics
+                .stage_infer_ns
+                .record((t2 - t1).as_nanos() as u64);
+        }
         self.tracker.push(stage, &self.bundle.pattern);
+        if !self.pattern_recorded {
+            if let Some(d) = self.tracker.decision() {
+                self.metrics.record_pattern(d.pattern, d.confidence);
+                self.pattern_recorded = true;
+            }
+        }
         self.record_slot(stage, sample);
         Some(stage)
     }
@@ -223,6 +278,8 @@ impl<'b> SessionAnalyzer<'b> {
             &self.bundle.calibration,
             &self.bundle.thresholds,
         );
+        self.metrics.record_stage_slot(stage);
+        self.metrics.record_qoe(obj, eff);
         self.stage_slots.push(stage);
         self.qoe_slots.push((obj, eff));
     }
@@ -259,8 +316,7 @@ impl<'b> SessionAnalyzer<'b> {
                 self.stream_title_buf.push(*pkt);
             } else {
                 let buf = std::mem::take(&mut self.stream_title_buf);
-                let pred = self.bundle.title.classify(&buf);
-                self.title = Some(pred);
+                self.classify_title(&buf);
             }
         }
         // Close any slots the packet's timestamp has moved past.
@@ -307,7 +363,7 @@ impl<'b> SessionAnalyzer<'b> {
         // Flush the streaming path: pending title window and partial slot.
         if self.title.is_none() && !self.stream_title_buf.is_empty() {
             let buf = std::mem::take(&mut self.stream_title_buf);
-            self.title = Some(self.bundle.title.classify(&buf));
+            self.classify_title(&buf);
         }
         if self.stream_any {
             let sample = std::mem::take(&mut self.stream_sample);

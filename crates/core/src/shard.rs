@@ -25,7 +25,10 @@ use nettrace::pcap::PcapRecord;
 use nettrace::units::Micros;
 use serde::{Deserialize, Serialize};
 
+use cgc_obs::{Gauge, Registry};
+
 use crate::bundle::ModelBundle;
+use crate::metrics::{MonitorMetrics, PipelineMetrics};
 use crate::monitor::{MonitorConfig, MonitoredSession, ShardStats, TapMonitor};
 use crate::pipeline::QoeInputs;
 
@@ -99,13 +102,19 @@ fn shard_worker(
     bundle: Arc<ModelBundle>,
     config: MonitorConfig,
     rx: Receiver<ShardMsg>,
+    metrics: MonitorMetrics,
+    pipeline_metrics: PipelineMetrics,
+    queue_depth: Arc<Gauge>,
 ) -> (Vec<MonitoredSession>, ShardStats) {
     // The monitor borrows the Arc owned by this stack frame, so the worker
     // is 'static while the models stay shared and read-only.
-    let mut monitor = TapMonitor::new(&bundle, config);
+    let mut monitor = TapMonitor::with_metrics(&bundle, config, metrics, pipeline_metrics);
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch(records) => monitor.ingest_batch(&records),
+            ShardMsg::Batch(records) => {
+                monitor.ingest_batch(&records);
+                queue_depth.dec();
+            }
             ShardMsg::SetQoe(tuple, qoe) => monitor.set_qoe(&tuple, qoe),
             ShardMsg::FinishIdle(now, reply) => {
                 let done = monitor.finish_idle(now);
@@ -132,32 +141,53 @@ pub struct ShardedTapMonitor {
     senders: Vec<Sender<ShardMsg>>,
     handles: Vec<JoinHandle<(Vec<MonitoredSession>, ShardStats)>>,
     pending: Vec<Vec<TapRecord>>,
+    depth_gauges: Vec<Arc<Gauge>>,
     batch_size: usize,
 }
 
 impl ShardedTapMonitor {
-    /// Spawns `config.shards` worker threads over a shared bundle.
+    /// Spawns `config.shards` worker threads over a shared bundle,
+    /// recording telemetry into the process-wide registry.
     pub fn new(bundle: Arc<ModelBundle>, config: ShardedMonitorConfig) -> Self {
+        Self::with_registry(bundle, config, Registry::global())
+    }
+
+    /// Spawns the front end recording telemetry into `registry` (used by
+    /// tests and fleet runs that need an isolated snapshot).
+    pub fn with_registry(
+        bundle: Arc<ModelBundle>,
+        config: ShardedMonitorConfig,
+        registry: &Registry,
+    ) -> Self {
         let shards = config.shards.max(1);
         let batch_size = config.batch_size.max(1);
+        let monitor_metrics = MonitorMetrics::register(registry);
+        let pipeline_metrics = PipelineMetrics::register(registry);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut depth_gauges = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = channel::unbounded();
             let b = Arc::clone(&bundle);
             let mc = config.monitor;
+            let mm = monitor_metrics.clone();
+            let pm = pipeline_metrics.clone();
+            let depth = MonitorMetrics::shard_queue_depth(registry, i);
+            let worker_depth = Arc::clone(&depth);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tap-shard-{i}"))
-                    .spawn(move || shard_worker(b, mc, rx))
+                    .spawn(move || shard_worker(b, mc, rx, mm, pm, worker_depth))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
+            depth_gauges.push(depth);
         }
         ShardedTapMonitor {
             senders,
             handles,
             pending: vec![Vec::new(); shards],
+            depth_gauges,
             batch_size,
         }
     }
@@ -265,6 +295,7 @@ impl ShardedTapMonitor {
             return;
         }
         let batch = std::mem::take(&mut self.pending[shard]);
+        self.depth_gauges[shard].inc();
         let _ = self.senders[shard].send(ShardMsg::Batch(batch));
     }
 }

@@ -51,6 +51,10 @@ pub struct FleetConfig {
     pub deployment_days: u32,
     /// Worker threads.
     pub workers: usize,
+    /// Emit a pipeline-telemetry delta report (nonzero counter increments
+    /// since the previous report) every this many completed sessions.
+    /// `0` disables the reporter.
+    pub telemetry_every: usize,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +71,7 @@ impl Default for FleetConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            telemetry_every: 0,
         }
     }
 }
@@ -269,11 +274,46 @@ fn run_one(
     }
 }
 
+/// One telemetry progress report: `done`/`total` sessions plus the nonzero
+/// counter increments in `delta` (one `name{labels} +n` clause per series,
+/// in snapshot order). Gauges and histograms are left to the final
+/// end-of-run snapshot; interval reporting is about rates.
+pub fn fleet_progress_line(done: usize, total: usize, delta: &cgc_obs::Snapshot) -> String {
+    let mut clauses: Vec<String> = Vec::new();
+    for m in &delta.metrics {
+        if let cgc_obs::MetricValue::Counter(v) = m.value {
+            if v == 0 {
+                continue;
+            }
+            let labels = if m.labels.is_empty() {
+                String::new()
+            } else {
+                let inner: Vec<String> = m
+                    .labels
+                    .iter()
+                    .map(|(k, val)| format!("{k}={val}"))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            };
+            clauses.push(format!("{}{labels} +{v}", m.name));
+        }
+    }
+    format!("[fleet {done}/{total}] {}", clauses.join(", "))
+}
+
 /// Runs the fleet in parallel, returning records ordered by session id.
+///
+/// With [`FleetConfig::telemetry_every`] set, a reporter thread rides along
+/// and prints a [`fleet_progress_line`] delta of the global metrics
+/// registry each time that many further sessions complete — the
+/// deployment's heartbeat log.
 pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let workers = cfg.workers.max(1).min(cfg.n_sessions.max(1));
     let mut records: Vec<Option<SessionRecord>> = vec![None; cfg.n_sessions];
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let slots = parking_lot::Mutex::new(&mut records);
 
     // Scoped workers: a panicking worker propagates when the scope joins.
@@ -282,12 +322,38 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
             scope.spawn(|| {
                 let mut generator = SessionGenerator::new();
                 loop {
-                    let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let id = next.fetch_add(1, Ordering::Relaxed);
                     if id >= cfg.n_sessions {
                         break;
                     }
                     let record = run_one(bundle, cfg, &mut generator, id as u64);
                     slots.lock()[id] = Some(record);
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        if cfg.telemetry_every > 0 {
+            // The reporter exits on its own once every session is done, so
+            // the scope still joins promptly.
+            scope.spawn(|| {
+                let registry = cgc_obs::Registry::global();
+                let mut prev = registry.snapshot();
+                let mut reported = 0usize;
+                loop {
+                    let d = done.load(Ordering::Relaxed);
+                    if d / cfg.telemetry_every > reported {
+                        reported = d / cfg.telemetry_every;
+                        let cur = registry.snapshot();
+                        eprintln!(
+                            "{}",
+                            fleet_progress_line(d, cfg.n_sessions, &cur.delta(&prev))
+                        );
+                        prev = cur;
+                    }
+                    if d >= cfg.n_sessions {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
                 }
             });
         }
@@ -329,13 +395,17 @@ impl Default for TapFleetConfig {
 
 /// Interleaves `n_sessions` popularity-sampled sessions on one tap and runs
 /// the feed through a [`ShardedTapMonitor`], returning the per-session
-/// reports (sorted by flow start) and the front end's observability
-/// snapshot — the deployment analogue of [`run_fleet`], exercised through
-/// the packet path instead of per-session analyzers.
+/// reports (sorted by flow start) and a metrics [`Snapshot`]
+/// (`cgc_monitor_*`, `cgc_shard_*`, `cgc_pipeline_*`, `cgc_qoe_*` series)
+/// from a registry private to this run — the deployment analogue of
+/// [`run_fleet`], exercised through the packet path instead of per-session
+/// analyzers.
+///
+/// [`Snapshot`]: cgc_obs::Snapshot
 pub fn run_tap_fleet(
     bundle: &std::sync::Arc<ModelBundle>,
     cfg: &TapFleetConfig,
-) -> (Vec<cgc_core::MonitoredSession>, cgc_core::MonitorStats) {
+) -> (Vec<cgc_core::MonitoredSession>, cgc_obs::Snapshot) {
     use nettrace::packet::{Direction, FiveTuple};
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9_0000);
@@ -362,16 +432,20 @@ pub fn run_tap_fleet(
     }
     feed.sort_by_key(|(ts, _, _)| *ts);
 
-    let mut monitor = cgc_core::ShardedTapMonitor::new(
+    // A private registry so concurrent runs (tests, notably) can make
+    // exact assertions against their own counters.
+    let registry = cgc_obs::Registry::new();
+    let mut monitor = cgc_core::ShardedTapMonitor::with_registry(
         std::sync::Arc::clone(bundle),
         cgc_core::ShardedMonitorConfig::with_shards(cfg.shards),
+        &registry,
     );
     for (ts, tuple, len) in &feed {
         monitor.ingest(*ts, tuple, *len);
     }
-    let (mut sessions, stats) = monitor.finish_all();
+    let (mut sessions, _stats) = monitor.finish_all();
     sessions.sort_by_key(|m| m.started_at);
-    (sessions, stats)
+    (sessions, registry.snapshot())
 }
 
 #[cfg(test)]
@@ -446,14 +520,67 @@ mod tests {
             shards: 3,
             ..Default::default()
         };
-        let (sessions, stats) = run_tap_fleet(&bundle, &cfg);
+        let (sessions, snapshot) = run_tap_fleet(&bundle, &cfg);
         assert_eq!(sessions.len(), 6);
         assert!(sessions.iter().all(|m| m.confirmed));
-        let total = stats.total();
-        assert_eq!(total.finalized_flows, 6);
-        assert_eq!(total.ignored_packets, 0);
-        assert!(total.ingested_packets > 0);
-        assert_eq!(stats.shards(), 3);
+        assert_eq!(
+            snapshot.counter("cgc_monitor_finalized_flows_total"),
+            Some(6)
+        );
+        assert_eq!(
+            snapshot.counter("cgc_monitor_ignored_packets_total"),
+            Some(0)
+        );
+        let ingested = snapshot
+            .counter("cgc_monitor_ingested_packets_total")
+            .unwrap();
+        assert!(ingested > 0);
+        // One queue-depth gauge per worker shard.
+        let depth_series = snapshot
+            .metrics
+            .iter()
+            .filter(|m| m.name == "cgc_shard_queue_depth")
+            .count();
+        assert_eq!(depth_series, 3);
+        // The packet path drove the full pipeline: inference counters and
+        // latency histograms populated alongside the monitor's.
+        assert!(snapshot.counter("cgc_pipeline_slots_total").unwrap() > 0);
+        assert_eq!(
+            snapshot.counter("cgc_pipeline_title_decisions_total"),
+            Some(6)
+        );
+        assert!(snapshot.histogram("cgc_monitor_batch_ns").unwrap().count > 0);
+        assert!(snapshot.counter("cgc_qoe_slots_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn fleet_progress_line_reports_nonzero_counter_deltas() {
+        let r = cgc_obs::Registry::new();
+        let a = r.counter("a_total", "");
+        let _quiet = r.counter("quiet_total", "");
+        let labelled = r.counter_with("b_total", "", &[("title", "dota_2")]);
+        let before = r.snapshot();
+        a.add(5);
+        labelled.add(2);
+        let line = fleet_progress_line(3, 10, &r.snapshot().delta(&before));
+        assert!(line.starts_with("[fleet 3/10]"));
+        assert!(line.contains("a_total +5"));
+        assert!(line.contains("b_total{title=dota_2} +2"));
+        assert!(!line.contains("quiet_total"));
+    }
+
+    #[test]
+    fn fleet_telemetry_reporter_does_not_disturb_results() {
+        let bundle = train_bundle(&TrainConfig::quick());
+        let cfg = FleetConfig {
+            n_sessions: 6,
+            duration_scale: 0.05,
+            workers: 2,
+            telemetry_every: 2,
+            ..Default::default()
+        };
+        let records = run_fleet(&bundle, &cfg);
+        assert_eq!(records.len(), 6);
     }
 
     #[test]

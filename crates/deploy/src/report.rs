@@ -69,35 +69,81 @@ pub fn results_dir() -> std::path::PathBuf {
         .unwrap_or_else(|| Path::new("results").to_path_buf())
 }
 
-/// Renders a sharded-monitor observability snapshot as an aligned table:
-/// one row per worker shard plus a totals row — what an operator's
-/// dashboard would show for the tap front end.
-pub fn monitor_stats_table(stats: &cgc_core::MonitorStats) -> String {
-    let row = |name: String, s: &cgc_core::ShardStats| -> Vec<String> {
-        vec![
-            name,
-            s.ingested_packets.to_string(),
-            s.ignored_packets.to_string(),
-            s.batches.to_string(),
-            s.active_flows.to_string(),
-            s.finalized_flows.to_string(),
-            s.evicted_flows.to_string(),
-            s.expiry_entries_scanned.to_string(),
-        ]
-    };
-    let mut rows: Vec<Vec<String>> = stats
-        .per_shard
-        .iter()
-        .enumerate()
-        .map(|(i, s)| row(format!("shard {i}"), s))
-        .collect();
-    rows.push(row("total".into(), &stats.total()));
-    table(
-        &[
-            "shard", "ingested", "ignored", "batches", "active", "final", "evicted", "scanned",
-        ],
-        &rows,
-    )
+fn label_text(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        "-".into()
+    } else {
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Renders a metrics [`Snapshot`](cgc_obs::Snapshot) as aligned text
+/// tables — counters and gauges first, then histograms with count, mean
+/// and tail quantiles. What an operator's dashboard would show for any
+/// instrumented front end; zero-valued series are kept so a missing layer
+/// is visible as a row of zeros rather than an absent row.
+pub fn metrics_table(snapshot: &cgc_obs::Snapshot) -> String {
+    use cgc_obs::MetricValue;
+
+    let mut scalar_rows: Vec<Vec<String>> = Vec::new();
+    let mut hist_rows: Vec<Vec<String>> = Vec::new();
+    for m in &snapshot.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => scalar_rows.push(vec![
+                m.name.clone(),
+                label_text(&m.labels),
+                "counter".into(),
+                v.to_string(),
+            ]),
+            MetricValue::Gauge(v) => scalar_rows.push(vec![
+                m.name.clone(),
+                label_text(&m.labels),
+                "gauge".into(),
+                v.to_string(),
+            ]),
+            MetricValue::Histogram(h) => {
+                let q = |p: f64| h.quantile(p).map_or("-".into(), |v| f(v, 0));
+                hist_rows.push(vec![
+                    m.name.clone(),
+                    label_text(&m.labels),
+                    h.count.to_string(),
+                    h.mean().map_or("-".into(), |v| f(v, 1)),
+                    q(0.5),
+                    q(0.95),
+                    q(0.99),
+                    h.max.to_string(),
+                ]);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    if !scalar_rows.is_empty() {
+        out.push_str(&table(&["metric", "labels", "type", "value"], &scalar_rows));
+    }
+    if !hist_rows.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&table(
+            &[
+                "histogram",
+                "labels",
+                "count",
+                "mean",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+            ],
+            &hist_rows,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -135,27 +181,35 @@ mod tests {
     }
 
     #[test]
-    fn monitor_stats_table_has_shard_and_total_rows() {
-        let mut stats = cgc_core::MonitorStats::default();
-        for i in 0..2u64 {
-            stats.per_shard.push(cgc_core::ShardStats {
-                ingested_packets: 100 + i,
-                ignored_packets: 5,
-                active_flows: 3,
-                finalized_flows: 7,
-                evicted_flows: 1,
-                expiry_entries_scanned: 12,
-                batches: 4,
-            });
-        }
-        let t = monitor_stats_table(&stats);
-        let lines: Vec<&str> = t.lines().collect();
-        // header + rule + 2 shard rows + total row
-        assert_eq!(lines.len(), 5);
-        assert!(lines[2].starts_with("shard 0"));
-        assert!(lines[4].starts_with("total"));
-        assert!(lines[4].contains("201")); // 100 + 101 ingested
-        assert!(lines[4].contains("14")); // 7 + 7 finalized
+    fn metrics_table_renders_scalars_and_histograms() {
+        let r = cgc_obs::Registry::new();
+        r.counter("cgc_monitor_ingested_packets_total", "packets")
+            .add(201);
+        r.gauge_with(
+            "cgc_shard_queue_depth",
+            "pending batches",
+            &[("shard", "0")],
+        )
+        .set(3);
+        let h = r.histogram("cgc_monitor_batch_ns", "batch latency");
+        h.record(10);
+        h.record(12);
+        let t = metrics_table(&r.snapshot());
+        assert!(t.contains("cgc_monitor_ingested_packets_total"));
+        assert!(t.contains("201"));
+        assert!(t.contains("shard=0"));
+        assert!(t.contains("gauge"));
+        // Histogram section: name, count and mean of {10, 12}.
+        assert!(t.contains("cgc_monitor_batch_ns"));
+        assert!(t.contains("11.0"));
+        let scalar_header = t.lines().next().unwrap();
+        assert!(scalar_header.starts_with("metric"));
+        assert!(t.lines().any(|l| l.starts_with("histogram")));
+    }
+
+    #[test]
+    fn metrics_table_of_empty_snapshot_is_empty() {
+        assert_eq!(metrics_table(&cgc_obs::Snapshot::default()), "");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub struct FlowStats {
 impl FlowStats {
     /// Folds one packet into the counters.
     pub fn update(&mut self, pkt: &Packet) {
+        crate::metrics::TraceMetrics::global().packets.inc();
         match pkt.dir {
             Direction::Downstream => {
                 self.down_pkts += 1;

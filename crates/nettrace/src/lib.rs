@@ -18,6 +18,8 @@
 //!   the spirit of smoltcp's example harnesses.
 //! * [`stats`] — small numeric helpers (mean/std/percentile) shared by the
 //!   feature extractors.
+//! * [`metrics`] — trace-layer telemetry counters (packets seen, RTP parse
+//!   outcomes, pcap decode results) registered with `cgc-obs`.
 //!
 //! The crate is deliberately synchronous and allocation-light: traces are
 //! `Vec<Packet>` and all processing is streaming-friendly (single pass, slot
@@ -27,6 +29,7 @@
 
 pub mod flow;
 pub mod impair;
+pub mod metrics;
 pub mod packet;
 pub mod pcap;
 pub mod rtp;

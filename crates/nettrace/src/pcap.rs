@@ -214,6 +214,7 @@ pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<PcapRecord>, PcapError
         return Err(PcapError::Malformed("unsupported linktype"));
     }
 
+    let metrics = crate::metrics::TraceMetrics::global();
     let mut records = Vec::new();
     loop {
         let mut rec_hdr = [0u8; 16];
@@ -229,8 +230,12 @@ pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<PcapRecord>, PcapError
         rd.read_exact(&mut frame)?;
 
         let ts: Micros = ts_sec * MICROS_PER_SEC + ts_usec;
-        if let Some(rec) = decode_frame(ts, &frame) {
-            records.push(rec);
+        match decode_frame(ts, &frame) {
+            Some(rec) => {
+                metrics.pcap_records.inc();
+                records.push(rec);
+            }
+            None => metrics.pcap_skipped.inc(),
         }
     }
     Ok(records)
@@ -270,19 +275,26 @@ fn decode_frame(ts: Micros, frame: &[u8]) -> Option<PcapRecord> {
         dst_port,
         proto: Protocol::Udp,
     };
+    let metrics = crate::metrics::TraceMetrics::global();
     match RtpHeader::decode(udp_payload) {
-        Ok((rtp, consumed)) => Some(PcapRecord {
-            ts,
-            tuple,
-            rtp: Some(rtp),
-            payload_len: (udp_payload.len() - consumed) as u32,
-        }),
-        Err(_) => Some(PcapRecord {
-            ts,
-            tuple,
-            rtp: None,
-            payload_len: udp_payload.len() as u32,
-        }),
+        Ok((rtp, consumed)) => {
+            metrics.rtp_parsed.inc();
+            Some(PcapRecord {
+                ts,
+                tuple,
+                rtp: Some(rtp),
+                payload_len: (udp_payload.len() - consumed) as u32,
+            })
+        }
+        Err(_) => {
+            metrics.rtp_malformed.inc();
+            Some(PcapRecord {
+                ts,
+                tuple,
+                rtp: None,
+                payload_len: udp_payload.len() as u32,
+            })
+        }
     }
 }
 

@@ -1,0 +1,49 @@
+//! `cgc-obs` — pipeline-wide telemetry core for the gamescope stack.
+//!
+//! Every stage of the live path (packet ingest, flow monitoring, slot
+//! feature extraction, RF inference, QoE calibration) records into
+//! handles obtained from a [`Registry`] — the process-wide one via
+//! [`Registry::global`], or an injected one for deterministic tests.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Allocation-free hot path.** Recording into a [`Counter`],
+//!    [`Gauge`], or [`Histogram`] is a few relaxed atomic ops on
+//!    pre-registered handles; the registry lock is only touched at
+//!    registration and snapshot time.
+//! 2. **Shard-friendly.** Counters and gauges are cache-line aligned so
+//!    per-shard handles never false-share; histograms are lock-free.
+//! 3. **Two export formats.** Prometheus text exposition for scraping
+//!    ([`export::prometheus`]) and pretty JSON matching the artifact
+//!    format used by `deploy::report` ([`export::json`]).
+//!
+//! ```
+//! use cgc_obs::{export, Registry};
+//!
+//! let registry = Registry::new(); // or Registry::global()
+//! let packets = registry.counter("cgc_trace_packets_total", "Packets seen");
+//! let latency = registry.histogram("cgc_pipeline_feature_ns", "Feature extraction time");
+//!
+//! packets.inc();
+//! {
+//!     let _span = latency.span(); // records elapsed ns on drop
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("cgc_trace_packets_total"), Some(1));
+//! assert!(export::prometheus(&snap).contains("# TYPE cgc_trace_packets_total counter"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod metric;
+pub mod registry;
+pub mod snapshot;
+pub mod timer;
+
+pub use hist::Histogram;
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use snapshot::{HistBucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
+pub use timer::{span, Span};

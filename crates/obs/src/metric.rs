@@ -1,0 +1,168 @@
+//! Scalar metric primitives: monotonic counters and signed gauges.
+//!
+//! Both are single cache-line-aligned atomics so that handles owned by
+//! different shard threads never false-share. All mutations use relaxed
+//! ordering: telemetry needs eventual visibility, not synchronisation.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` counter.
+///
+/// Incrementing is a single relaxed `fetch_add`; reading is a relaxed
+/// `load`. The cache-line alignment keeps two counters registered by
+/// different threads from sharing a line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge for values that go up and down (occupancy, queue depth).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Create a gauge starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add a signed delta.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50_000;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn concurrent_gauge_balances_to_zero() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 20_000;
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        g.inc();
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<Counter>(), 64);
+        assert_eq!(std::mem::align_of::<Gauge>(), 64);
+    }
+}

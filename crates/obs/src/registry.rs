@@ -1,0 +1,256 @@
+//! Metric registry: named, labelled handles with get-or-create
+//! semantics and whole-registry snapshots.
+//!
+//! Instrumented code holds `Arc` handles obtained once at registration,
+//! so the hot path never touches the registry lock — only registration
+//! and `snapshot()` do. A process-wide registry is available via
+//! [`Registry::global`], and every consumer also accepts an injected
+//! registry for deterministic tests.
+
+use crate::hist::Histogram;
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::{MetricSnapshot, MetricValue, Snapshot};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// Collection of named metrics with snapshot support.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// Create an empty registry (for injection into tests or tools that
+    /// need isolation from the process-wide one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or create a counter with labels.
+    ///
+    /// # Panics
+    /// If `name`+`labels` is already registered as a different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create a gauge with labels.
+    ///
+    /// # Panics
+    /// If `name`+`labels` is already registered as a different kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or create an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get or create a histogram with labels.
+    ///
+    /// # Panics
+    /// If `name`+`labels` is already registered as a different kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let matches = |e: &Entry| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        };
+        {
+            let entries = self.entries.read().unwrap();
+            if let Some(e) = entries.iter().find(|e| matches(e)) {
+                return e.metric.clone();
+            }
+        }
+        let mut entries = self.entries.write().unwrap();
+        // Re-check: another thread may have registered between locks.
+        if let Some(e) = entries.iter().find(|e| matches(e)) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capture every registered metric, sorted by name then labels.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.read().unwrap();
+        let mut metrics: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = Registry::new();
+        let a = r.counter_with("d_total", "d", &[("title", "fortnite")]);
+        let b = r.counter_with("d_total", "d", &[("title", "dota_2")]);
+        a.inc();
+        b.add(5);
+        assert_eq!(r.len(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("d_total"), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "m");
+        r.gauge("m", "m");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.gauge("b_depth", "depth").set(3);
+        r.counter("a_total", "a").add(7);
+        r.histogram("c_ns", "latency").record(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "b_depth", "c_ns"]);
+        assert_eq!(snap.counter("a_total"), Some(7));
+        assert_eq!(snap.gauge("b_depth"), Some(3));
+        assert_eq!(snap.histogram("c_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn concurrent_registration_converges_to_one_series() {
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter("contended_total", "c").inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot().counter("contended_total"), Some(8000));
+    }
+}

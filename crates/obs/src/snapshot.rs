@@ -1,0 +1,329 @@
+//! Point-in-time, serialisable views of registry contents.
+//!
+//! A [`Snapshot`] is what exporters, tables, and the fleet telemetry
+//! reporter consume. Snapshots support `delta(earlier)` so long-running
+//! deployments can report rates over an interval instead of absolute
+//! totals since process start.
+
+use serde::{Deserialize, Serialize};
+
+/// One non-empty histogram bucket: samples in `lo..hi` (hi exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+    /// Samples that fell in `lo..hi`.
+    pub count: u64,
+}
+
+/// Immutable capture of a histogram's contents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by `lo`.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket containing the target rank. `None` when empty.
+    ///
+    /// Error is bounded by the bucket width: exact for values `0..=15`,
+    /// within 12.5% above that.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            let upto = seen + b.count;
+            if rank < upto as f64 || upto == self.count {
+                // Position of the target rank within this bucket.
+                let within = (rank - seen as f64) / b.count as f64;
+                let lo = b.lo.max(self.min) as f64;
+                let hi = b.hi.min(self.max.saturating_add(1)) as f64;
+                return Some(lo + (hi - lo).max(0.0) * within);
+            }
+            seen = upto;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating), used by
+    /// interval reporters.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for b in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|e| e.lo == b.lo)
+                .map_or(0, |e| e.count);
+            let count = b.count.saturating_sub(before);
+            if count > 0 {
+                buckets.push(HistBucket { count, ..*b });
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            // min/max are lifetime extremes; an interval delta keeps the
+            // current ones as the best available approximation.
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// Value of one exported metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Instantaneous gauge level.
+    Gauge(i64),
+    /// Distribution snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric with its identity and captured value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric name, e.g. `cgc_monitor_ingested_packets_total`.
+    pub name: String,
+    /// Label pairs distinguishing series under the same name.
+    pub labels: Vec<(String, String)>,
+    /// Human-readable description.
+    pub help: String,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time capture of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All captured metrics, sorted by name then labels.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// First metric with this name (any labels).
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Metric with this exact name and label set.
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Sum of all counter series with this name. `None` if the name is
+    /// absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0u64;
+        for m in self.metrics.iter().filter(|m| m.name == name) {
+            if let MetricValue::Counter(v) = m.value {
+                found = true;
+                total += v;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Sum of all gauge series with this name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        let mut found = false;
+        let mut total = 0i64;
+        for m in self.metrics.iter().filter(|m| m.name == name) {
+            if let MetricValue::Gauge(v) = m.value {
+                found = true;
+                total += v;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// First histogram series with this name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.metrics
+            .iter()
+            .find_map(|m| match (&m.value, m.name == name) {
+                (MetricValue::Histogram(h), true) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Difference `self - earlier` for interval reporting: counters and
+    /// histograms subtract (saturating); gauges keep their current
+    /// level. Series absent from `earlier` pass through unchanged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let before = earlier
+                    .metrics
+                    .iter()
+                    .find(|e| e.name == m.name && e.labels == m.labels);
+                let value = match (&m.value, before.map(|b| &b.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(old))) => {
+                        MetricValue::Counter(now.saturating_sub(*old))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(old))) => {
+                        MetricValue::Histogram(now.delta(old))
+                    }
+                    _ => m.value.clone(),
+                };
+                MetricSnapshot {
+                    name: m.name.clone(),
+                    labels: m.labels.clone(),
+                    help: m.help.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, v: u64) -> MetricSnapshot {
+        MetricSnapshot {
+            name: name.to_string(),
+            labels: Vec::new(),
+            help: String::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let mut old = Snapshot::default();
+        old.metrics.push(counter("a_total", 10));
+        let mut now = Snapshot::default();
+        now.metrics.push(counter("a_total", 25));
+        now.metrics.push(MetricSnapshot {
+            name: "depth".into(),
+            labels: Vec::new(),
+            help: String::new(),
+            value: MetricValue::Gauge(4),
+        });
+        let d = now.delta(&old);
+        assert_eq!(d.counter("a_total"), Some(15));
+        assert_eq!(d.gauge("depth"), Some(4));
+    }
+
+    #[test]
+    fn counter_sums_across_label_sets() {
+        let mut s = Snapshot::default();
+        let mut a = counter("decisions_total", 3);
+        a.labels.push(("title".into(), "fortnite".into()));
+        let mut b = counter("decisions_total", 4);
+        b.labels.push(("title".into(), "dota_2".into()));
+        s.metrics.push(a);
+        s.metrics.push(b);
+        assert_eq!(s.counter("decisions_total"), Some(7));
+        assert_eq!(s.counter("missing"), None);
+        assert!(s
+            .get_with("decisions_total", &[("title", "dota_2")])
+            .is_some());
+        assert!(s
+            .get_with("decisions_total", &[("title", "csgo")])
+            .is_none());
+    }
+
+    #[test]
+    fn histogram_delta_drops_unchanged_buckets() {
+        let old = HistogramSnapshot {
+            count: 2,
+            sum: 30,
+            min: 10,
+            max: 20,
+            buckets: vec![HistBucket {
+                lo: 10,
+                hi: 11,
+                count: 1,
+            }],
+        };
+        let now = HistogramSnapshot {
+            count: 3,
+            sum: 60,
+            min: 10,
+            max: 30,
+            buckets: vec![
+                HistBucket {
+                    lo: 10,
+                    hi: 11,
+                    count: 1,
+                },
+                HistBucket {
+                    lo: 30,
+                    hi: 32,
+                    count: 2,
+                },
+            ],
+        };
+        let d = now.delta(&old);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 30);
+        assert_eq!(d.buckets.len(), 1);
+        assert_eq!(d.buckets[0].lo, 30);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut s = Snapshot::default();
+        s.metrics.push(counter("a_total", 10));
+        s.metrics.push(MetricSnapshot {
+            name: "lat_ns".into(),
+            labels: vec![("shard".into(), "0".into())],
+            help: "latency".into(),
+            value: MetricValue::Histogram(HistogramSnapshot {
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                buckets: vec![HistBucket {
+                    lo: 5,
+                    hi: 6,
+                    count: 1,
+                }],
+            }),
+        });
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -9,8 +9,10 @@
 use gamescope::deploy::aggregate::{
     bandwidth_by_title, calibrate, field_validation, qoe_by_title, stage_profiles_by_title,
 };
+use gamescope::deploy::report::metrics_table;
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::deploy::{run_fleet, FleetConfig};
+use gamescope::obs::Registry;
 
 fn main() {
     println!("training models (quick config)...");
@@ -19,6 +21,9 @@ fn main() {
     let base = FleetConfig {
         n_sessions: 150,
         duration_scale: 0.08,
+        // Heartbeat telemetry: a delta of the pipeline counters every 50
+        // completed sessions, on stderr.
+        telemetry_every: 50,
         ..Default::default()
     };
 
@@ -71,5 +76,10 @@ fn main() {
         "\n{} of {} sessions ran behind degraded paths; those are the ones a\nnetwork operator should chase — the calibration keeps the rest green.",
         impaired,
         records.len()
+    );
+
+    println!(
+        "\ndeployment telemetry (global registry):\n{}",
+        metrics_table(&Registry::global().snapshot())
     );
 }

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use gamescope::deploy::report::monitor_stats_table;
+use gamescope::deploy::report::metrics_table;
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, StreamSettings};
 use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
@@ -68,12 +68,12 @@ fn main() {
         live.active_flows, live.ignored_packets
     );
 
-    let (mut out, stats) = monitor.finish_all();
+    let (mut out, _stats) = monitor.finish_all();
     out.sort_by_key(|m| m.started_at);
-    println!(
-        "\nfront-end shard counters:\n{}",
-        monitor_stats_table(&stats)
-    );
+    // The monitor records into the global registry; the snapshot spans all
+    // four instrumented layers (trace, monitor/shard, pipeline, qoe).
+    let snapshot = gamescope::obs::Registry::global().snapshot();
+    println!("\nfront-end telemetry:\n{}", metrics_table(&snapshot));
     println!("\nper-session reports:");
     for m in &out {
         println!(

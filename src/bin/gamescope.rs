@@ -1,0 +1,313 @@
+//! `gamescope` — the capture-file CLI.
+//!
+//! ```text
+//! gamescope train [--quick] [--out bundle.json]
+//! gamescope generate --out s.pcap [--title fortnite] [--secs 90] [--seed 7]
+//! gamescope analyze <s.pcap> [--bundle bundle.json] [--quick]
+//! gamescope classify --pcap s.pcap [--bundle bundle.json]
+//! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
+//! ```
+//!
+//! Every subcommand accepts `--metrics <path|->`: on exit the global
+//! metrics registry is snapshotted and dumped — Prometheus text to stdout
+//! for `-`, JSON for paths ending in `.json`, Prometheus text otherwise.
+
+use std::process::ExitCode;
+
+use gamescope::deploy::fleet::{run_fleet, FleetConfig};
+use gamescope::deploy::report::metrics_table;
+use gamescope::deploy::train::{train_bundle, TrainConfig};
+use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
+use gamescope::obs;
+use gamescope::pipeline::monitor::{MonitorConfig, TapMonitor};
+use gamescope::pipeline::ModelBundle;
+use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use gamescope::trace::pcap;
+
+const USAGE: &str = "\
+gamescope — cloud gaming context classification from network traffic
+
+USAGE:
+  gamescope train    [--quick] [--out <bundle.json>]
+  gamescope generate --out <s.pcap> [--title <name>] [--secs <n>] [--seed <n>]
+  gamescope analyze  <s.pcap> [--bundle <bundle.json>] [--quick]
+  gamescope classify --pcap <s.pcap> [--bundle <bundle.json>] [--quick]
+  gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
+                     [--telemetry-every <n>]
+
+OPTIONS (all subcommands):
+  --metrics <path|->   dump a metrics snapshot on exit: '-' prints
+                       Prometheus text to stdout, '*.json' writes JSON,
+                       anything else writes Prometheus text to the path
+  --metrics-table      print the snapshot as an aligned table on stderr
+";
+
+/// Removes `--name <value>` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        if i + 1 >= args.len() {
+            return Err(format!("{name} requires a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Removes a bare `--name` flag from `args`, returning its presence.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{name}: cannot parse {v:?}"))
+}
+
+/// Case/punctuation-insensitive catalog lookup: `cs_go`, `CS:GO` and
+/// `csgo` all resolve to the same title.
+fn find_title(input: &str) -> Option<GameTitle> {
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = norm(input);
+    if wanted.is_empty() {
+        return None;
+    }
+    if let Some(t) = GameTitle::ALL
+        .into_iter()
+        .find(|t| norm(t.name()) == wanted)
+    {
+        return Some(t);
+    }
+    // Unique-prefix fallback: `csgo` → CS:GO/CS2, `baldur` → Baldur's Gate 3.
+    let mut matches = GameTitle::ALL
+        .into_iter()
+        .filter(|t| norm(t.name()).starts_with(&wanted));
+    match (matches.next(), matches.next()) {
+        (Some(t), None) => Some(t),
+        _ => None,
+    }
+}
+
+/// Loads `--bundle <path>` or trains one (`--quick` for the fast config).
+fn bundle_from(args: &mut Vec<String>) -> Result<ModelBundle, String> {
+    let quick = take_flag(args, "--quick");
+    if let Some(path) = take_value(args, "--bundle")? {
+        return ModelBundle::load(&path).map_err(|e| format!("loading bundle {path}: {e}"));
+    }
+    eprintln!(
+        "no --bundle given; training one ({} config)...",
+        if quick { "quick" } else { "default" }
+    );
+    let cfg = if quick {
+        TrainConfig::quick()
+    } else {
+        TrainConfig::default()
+    };
+    Ok(train_bundle(&cfg))
+}
+
+fn cmd_train(mut args: Vec<String>) -> Result<(), String> {
+    let quick = take_flag(&mut args, "--quick");
+    let out = take_value(&mut args, "--out")?.unwrap_or_else(|| "bundle.json".into());
+    reject_extra(&args)?;
+    let cfg = if quick {
+        TrainConfig::quick()
+    } else {
+        TrainConfig::default()
+    };
+    eprintln!(
+        "training models ({} config)...",
+        if quick { "quick" } else { "default" }
+    );
+    let bundle = train_bundle(&cfg);
+    bundle
+        .save(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote trained bundle to {out}");
+    Ok(())
+}
+
+fn cmd_generate(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_value(&mut args, "--out")?.ok_or("generate requires --out <s.pcap>")?;
+    let title = match take_value(&mut args, "--title")? {
+        Some(name) => find_title(&name).ok_or_else(|| {
+            let names: Vec<&str> = GameTitle::ALL.iter().map(|t| t.name()).collect();
+            format!("unknown title {name:?}; catalog: {}", names.join(", "))
+        })?,
+        None => GameTitle::Fortnite,
+    };
+    let secs: f64 = match take_value(&mut args, "--secs")? {
+        Some(v) => parse("--secs", &v)?,
+        None => 90.0,
+    };
+    let seed: u64 = match take_value(&mut args, "--seed")? {
+        Some(v) => parse("--seed", &v)?,
+        None => 7,
+    };
+    reject_extra(&args)?;
+
+    let mut generator = SessionGenerator::new();
+    let session = generator.generate(&SessionConfig {
+        kind: TitleKind::Known(title),
+        settings: StreamSettings::default_pc(),
+        gameplay_secs: secs,
+        fidelity: Fidelity::FullPackets,
+        seed,
+    });
+    pcap::write_session_pcap(&out, &session.tuple, &session.packets)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} packets of a {} session ({secs:.0}s gameplay) to {out}",
+        session.packets.len(),
+        title.name()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(mut args: Vec<String>) -> Result<(), String> {
+    let bundle = bundle_from(&mut args)?;
+    // Path comes from `--pcap <p>` (README `classify` spelling) or the
+    // first positional argument (`analyze <p>`).
+    let path = match take_value(&mut args, "--pcap")? {
+        Some(p) => p,
+        None => {
+            if args.is_empty() {
+                return Err("analyze requires a pcap path (positional or --pcap)".into());
+            }
+            args.remove(0)
+        }
+    };
+    reject_extra(&args)?;
+
+    let records = pcap::read_records(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    println!("read {} capture records from {path}", records.len());
+
+    // A tap monitor demultiplexes the capture, so multi-flow captures (or
+    // ones with background chatter) work the same as single-session files.
+    let mut monitor = TapMonitor::new(&bundle, MonitorConfig::default());
+    for r in &records {
+        monitor.ingest_record(r);
+    }
+    let mut sessions = monitor.finish_all();
+    sessions.sort_by_key(|m| m.started_at);
+    if sessions.is_empty() {
+        println!("no cloud gaming flows detected");
+        return Ok(());
+    }
+    for m in &sessions {
+        println!(
+            "t+{:>3}s {} [{}] -> title {} ({:.0}%), {:.1} Mbps, QoE {}/{}{}",
+            m.started_at / 1_000_000,
+            m.tuple,
+            m.platform,
+            m.report.title.title.map(|t| t.name()).unwrap_or("unknown"),
+            m.report.title.confidence * 100.0,
+            m.report.mean_down_mbps,
+            m.report.objective_qoe,
+            m.report.effective_qoe,
+            if m.confirmed { "" } else { " (unconfirmed)" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
+    let bundle = bundle_from(&mut args)?;
+    let mut cfg = FleetConfig::default();
+    if let Some(v) = take_value(&mut args, "--sessions")? {
+        cfg.n_sessions = parse("--sessions", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--telemetry-every")? {
+        cfg.telemetry_every = parse("--telemetry-every", &v)?;
+    }
+    reject_extra(&args)?;
+
+    eprintln!("simulating {} sessions...", cfg.n_sessions);
+    let records = run_fleet(&bundle, &cfg);
+    let known: Vec<_> = records
+        .iter()
+        .filter(|r| r.truth_kind.known().is_some())
+        .collect();
+    let correct = known.iter().filter(|r| r.title_correct()).count();
+    let qoe_count = |level: QoeLevel| {
+        records
+            .iter()
+            .filter(|r| r.report.effective_qoe == level)
+            .count()
+    };
+    println!(
+        "fleet: {} sessions, title accuracy {}/{} on catalog titles",
+        records.len(),
+        correct,
+        known.len()
+    );
+    println!(
+        "effective QoE: {} good / {} medium / {} bad",
+        qoe_count(QoeLevel::Good),
+        qoe_count(QoeLevel::Medium),
+        qoe_count(QoeLevel::Bad)
+    );
+    Ok(())
+}
+
+fn reject_extra(args: &[String]) -> Result<(), String> {
+    if let Some(a) = args.first() {
+        Err(format!("unexpected argument {a:?}"))
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_target = match take_value(&mut args, "--metrics") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verbose_metrics = take_flag(&mut args, "--metrics-table");
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(args),
+        "generate" => cmd_generate(args),
+        "analyze" | "classify" => cmd_analyze(args),
+        "fleet" => cmd_fleet(args),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let snapshot = obs::Registry::global().snapshot();
+    if verbose_metrics {
+        eprintln!("\n{}", metrics_table(&snapshot));
+    }
+    if let Some(target) = metrics_target {
+        if let Err(e) = obs::export::dump(&snapshot, &target) {
+            eprintln!("error: writing metrics to {target}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if target != "-" {
+            eprintln!("metrics snapshot written to {target}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@
 //! * [`ml`] — from-scratch statistical ML (forests, SVM, KNN, metrics)
 //! * [`features`] — packet-group, launch, volumetric and transition features
 //! * [`pipeline`] — the real-time context classification pipeline
+//! * [`obs`] — metrics registry, histograms, span timers and exporters
 //! * [`deploy`] — training, fleet simulation and aggregate reporting
 
 #![warn(missing_docs)]
@@ -17,6 +18,7 @@ pub use cgc_core as pipeline;
 pub use cgc_deploy as deploy;
 pub use cgc_domain as domain;
 pub use cgc_features as features;
+pub use cgc_obs as obs;
 pub use gamesim as sim;
 pub use mlcore as ml;
 pub use nettrace as trace;
