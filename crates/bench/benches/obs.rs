@@ -4,7 +4,9 @@
 //! snapshot, Prometheus rendering). The per-event rows must stay in the
 //! low-nanosecond range — they run once per packet on the tap path.
 
-use cgc_obs::{export, Counter, Histogram, Registry};
+use cgc_obs::event::{Event, EventKind, EventRing};
+use cgc_obs::journal::EventSink;
+use cgc_obs::{export, Counter, Histogram, Journal, JournalConfig, Registry};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 const EVENTS: u64 = 1_000_000;
@@ -75,6 +77,84 @@ fn bench_obs(c: &mut Criterion) {
     });
     g.bench_function("json_render_32_series", |b| {
         b.iter(|| black_box(export::json(&snapshot).len()))
+    });
+    g.finish();
+
+    // Flight-recorder costs: what the tap path pays per emitted event
+    // (ring push, or a disabled sink's single branch) and what the export
+    // side pays per JSONL line.
+    let stage_event = |i: u64| Event {
+        flow: 0xfeed_0000 | (i & 63),
+        ts: i * 1_000_000,
+        kind: EventKind::StageEntered {
+            slot: i as u32,
+            stage: cgc_domain::Stage::Active,
+        },
+    };
+
+    let mut g = c.benchmark_group("obs_journal");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EVENTS));
+
+    g.bench_function("ring_push_pop_1m", |b| {
+        let ring: EventRing<Event> = EventRing::with_capacity(1024);
+        b.iter(|| {
+            let mut popped = 0u64;
+            for i in 0..EVENTS {
+                // Drain in batches the way the journal consumer does, so
+                // the ring never fills and every push lands.
+                if ring.len() >= 512 {
+                    while ring.try_pop().is_some() {
+                        popped += 1;
+                    }
+                }
+                let _ = ring.try_push(stage_event(i));
+            }
+            while ring.try_pop().is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+
+    g.bench_function("sink_emit_1m", |b| {
+        let registry = Registry::new();
+        let (sink, mut journal) = Journal::new(JournalConfig::default(), &registry);
+        b.iter(|| {
+            for i in 0..EVENTS {
+                let e = stage_event(i);
+                sink.emit(e.flow, e.ts, e.kind);
+                // Keep the bench honest: drain so drops stay rare and the
+                // measured cost is the push, not the overflow branch.
+                if i % 16_384 == 0 {
+                    journal.drain();
+                }
+            }
+            black_box(journal.drain())
+        })
+    });
+
+    g.bench_function("sink_emit_disabled_1m", |b| {
+        let sink = EventSink::disabled();
+        b.iter(|| {
+            for i in 0..EVENTS {
+                let e = stage_event(i);
+                sink.emit(e.flow, e.ts, e.kind);
+            }
+            black_box(&sink)
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_encode_jsonl_10k", |b| {
+        let events: Vec<Event> = (0..10_000).map(stage_event).collect();
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for e in &events {
+                bytes += cgc_obs::journal::render_line(e).len();
+            }
+            black_box(bytes)
+        })
     });
     g.finish();
 }

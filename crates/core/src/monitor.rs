@@ -20,6 +20,8 @@
 
 use std::collections::HashMap;
 
+use cgc_obs::event::{CloseCause, EventKind};
+use cgc_obs::journal::EventSink;
 use nettrace::flow::FlowStats;
 use nettrace::packet::{Direction, FiveTuple, Packet};
 use nettrace::pcap::PcapRecord;
@@ -127,6 +129,8 @@ struct FlowEntry<'b> {
     started_at: Micros,
     last_seen: Micros,
     stats: FlowStats,
+    /// Cached journal id (`FiveTuple::flow_id` of the normalized tuple).
+    flow_id: u64,
 }
 
 /// Multiplexing front end driving one analyzer per detected gaming flow.
@@ -145,6 +149,9 @@ pub struct TapMonitor<'b> {
     batches: u64,
     metrics: MonitorMetrics,
     pipeline_metrics: PipelineMetrics,
+    /// Flight-recorder sink handed to every flow's analyzer (disabled by
+    /// default on injected-registry monitors; `new` wires the global one).
+    journal: EventSink,
     /// Wheel-scan count already published to the registry counter.
     expiry_published: u64,
 }
@@ -153,12 +160,16 @@ impl<'b> TapMonitor<'b> {
     /// A monitor over a trained bundle, recording telemetry into the
     /// process-wide registry.
     pub fn new(bundle: &'b ModelBundle, config: MonitorConfig) -> Self {
-        Self::with_metrics(
+        let mut monitor = Self::with_metrics(
             bundle,
             config,
             MonitorMetrics::global().clone(),
             PipelineMetrics::global().clone(),
-        )
+        );
+        // Like the metrics: the global-registry constructor records into
+        // the process-wide journal (free until one is installed).
+        monitor.set_journal(cgc_obs::journal::global_sink());
+        monitor
     }
 
     /// A monitor recording telemetry into `registry` instead of the
@@ -198,8 +209,15 @@ impl<'b> TapMonitor<'b> {
             batches: 0,
             metrics,
             pipeline_metrics,
+            journal: EventSink::disabled(),
             expiry_published: 0,
         }
+    }
+
+    /// Routes this monitor's lifecycle events (and those of every flow
+    /// analyzer created afterwards) into `sink`.
+    pub fn set_journal(&mut self, sink: EventSink) {
+        self.journal = sink;
     }
 
     /// Ingests one observed datagram: tap timestamp, wire five-tuple (src =
@@ -231,21 +249,36 @@ impl<'b> TapMonitor<'b> {
         let config = &self.config;
         let bundle = self.bundle;
         let pipeline_metrics = &self.pipeline_metrics;
-        let entry = self.flows.entry(key).or_insert_with(|| FlowEntry {
-            analyzer: SessionAnalyzer::with_metrics(
+        let journal = &self.journal;
+        let entry = self.flows.entry(key).or_insert_with(|| {
+            let flow_id = key.flow_id();
+            let mut analyzer = SessionAnalyzer::with_metrics(
                 bundle,
                 config.analyzer,
                 config.qoe,
                 pipeline_metrics.clone(),
-            ),
-            down_tuple,
-            platform,
-            started_at: ts,
-            last_seen: ts,
-            stats: FlowStats::default(),
+            );
+            analyzer.attach_journal(journal.clone(), flow_id, ts);
+            FlowEntry {
+                analyzer,
+                down_tuple,
+                platform,
+                started_at: ts,
+                last_seen: ts,
+                stats: FlowStats::default(),
+                flow_id,
+            }
         });
         if is_new {
             self.metrics.active_flows.inc();
+            self.journal.emit(
+                entry.flow_id,
+                ts,
+                EventKind::FlowAdmitted {
+                    addr: down_tuple.flow_addr(),
+                    platform,
+                },
+            );
         }
         entry.last_seen = ts;
         self.expiry.touch(key, ts);
@@ -317,7 +350,7 @@ impl<'b> TapMonitor<'b> {
         let mut out = std::mem::take(&mut self.evicted);
         for key in self.expiry.drain_due(cutoff) {
             let entry = self.flows.remove(&key).expect("wheel and table in sync");
-            out.push(self.finalize(entry));
+            out.push(self.finalize(entry, CloseCause::Idle));
         }
         self.publish_expiry_scans();
         out
@@ -331,7 +364,7 @@ impl<'b> TapMonitor<'b> {
         for key in keys {
             let entry = self.flows.remove(&key).expect("key present");
             self.expiry.remove(&key);
-            out.push(self.finalize(entry));
+            out.push(self.finalize(entry, CloseCause::Drained));
         }
         self.publish_expiry_scans();
         out
@@ -353,7 +386,7 @@ impl<'b> TapMonitor<'b> {
     fn evict_least_recent(&mut self) {
         if let Some(key) = self.expiry.pop_least_recent() {
             let entry = self.flows.remove(&key).expect("wheel and table in sync");
-            let session = self.finalize(entry);
+            let session = self.finalize(entry, CloseCause::Evicted);
             self.evicted.push(session);
             self.evicted_flows += 1;
             self.metrics.evicted.inc();
@@ -361,19 +394,27 @@ impl<'b> TapMonitor<'b> {
         self.publish_expiry_scans();
     }
 
-    fn finalize(&mut self, entry: FlowEntry<'b>) -> MonitoredSession {
+    fn finalize(&mut self, entry: FlowEntry<'b>, cause: CloseCause) -> MonitoredSession {
         self.finalized_flows += 1;
         self.metrics.finalized.inc();
         self.metrics.active_flows.dec();
         let confirmed = self.filter.confirm(&entry.stats);
-        MonitoredSession {
+        let session = MonitoredSession {
             tuple: entry.down_tuple,
             platform: entry.platform,
             started_at: entry.started_at,
             last_seen: entry.last_seen,
             confirmed,
+            // finish() emits the analyzer's SessionVerdict first, so the
+            // FlowClosed below is always each timeline's final event.
             report: entry.analyzer.finish(),
-        }
+        };
+        self.journal.emit(
+            entry.flow_id,
+            entry.last_seen,
+            EventKind::FlowClosed { cause, confirmed },
+        );
+        session
     }
 }
 

@@ -17,6 +17,8 @@
 //! (`analyze`) — the latter is what deployment-scale runs use.
 
 use cgc_domain::{ActivityPattern, QoeLevel, Stage};
+use cgc_obs::event::EventKind;
+use cgc_obs::journal::EventSink;
 use nettrace::packet::Packet;
 use nettrace::units::{secs_to_micros, Micros};
 use nettrace::vol::{VolSample, VolSeries};
@@ -130,6 +132,11 @@ pub struct SessionAnalyzer<'b> {
     qoe_slots: Vec<(QoeLevel, QoeLevel)>,
     qoe: QoeInputs,
     metrics: PipelineMetrics,
+    /// Flight-recorder sink (disabled unless attached); decision points
+    /// emit events keyed by `flow` at tap-clock `ts_base` + flow offset.
+    journal: EventSink,
+    flow: u64,
+    ts_base: u64,
     pattern_recorded: bool,
     /// Classified slots seen so far, for 1-in-[`LATENCY_SAMPLE`] latency
     /// span sampling.
@@ -169,6 +176,9 @@ impl<'b> SessionAnalyzer<'b> {
             qoe_slots: Vec::new(),
             qoe,
             metrics,
+            journal: EventSink::disabled(),
+            flow: 0,
+            ts_base: 0,
             pattern_recorded: false,
             latency_tick: 0,
             total_down_bytes: 0,
@@ -178,6 +188,20 @@ impl<'b> SessionAnalyzer<'b> {
             stream_sample: VolSample::default(),
             stream_any: false,
         }
+    }
+
+    /// Attaches a flight-recorder sink: subsequent decisions emit
+    /// [`EventKind`] events under `flow`, timestamped `ts_base` (tap
+    /// clock, µs) plus the flow-relative offset of each decision.
+    pub fn attach_journal(&mut self, sink: EventSink, flow: u64, ts_base: u64) {
+        self.journal = sink;
+        self.flow = flow;
+        self.ts_base = ts_base;
+    }
+
+    /// Tap-clock timestamp of the most recently closed slot boundary.
+    fn slot_ts(&self) -> u64 {
+        self.ts_base + self.slots_seen as u64 * self.bundle.stage_slot
     }
 
     /// Runs the title process on the session's first packets (timestamps
@@ -195,6 +219,24 @@ impl<'b> SessionAnalyzer<'b> {
         span.finish();
         self.metrics.record_title(pred.title, pred.confidence);
         self.title = Some(pred);
+        if self.journal.is_enabled() {
+            let ts = self.ts_base + secs_to_micros(self.config.title_window_secs);
+            self.journal.emit(
+                self.flow,
+                ts,
+                EventKind::LaunchWindowClosed {
+                    packets: packets.len() as u32,
+                },
+            );
+            self.journal.emit(
+                self.flow,
+                ts,
+                EventKind::TitleDecided {
+                    title: pred.title,
+                    confidence: pred.confidence,
+                },
+            );
+        }
         pred
     }
 
@@ -245,6 +287,14 @@ impl<'b> SessionAnalyzer<'b> {
             if let Some(d) = self.tracker.decision() {
                 self.metrics.record_pattern(d.pattern, d.confidence);
                 self.pattern_recorded = true;
+                self.journal.emit(
+                    self.flow,
+                    self.slot_ts(),
+                    EventKind::PatternInferred {
+                        pattern: d.pattern,
+                        confidence: d.confidence,
+                    },
+                );
             }
         }
         self.record_slot(stage, sample);
@@ -280,6 +330,29 @@ impl<'b> SessionAnalyzer<'b> {
         );
         self.metrics.record_stage_slot(stage);
         self.metrics.record_qoe(obj, eff);
+        if self.journal.is_enabled() {
+            // Transitions only: a steady stage or QoE level emits nothing,
+            // keeping journal volume proportional to decisions, not slots.
+            let slot = (self.slots_seen - 1) as u32;
+            if self.stage_slots.last() != Some(&stage) {
+                self.journal.emit(
+                    self.flow,
+                    self.slot_ts(),
+                    EventKind::StageEntered { slot, stage },
+                );
+            }
+            if self.qoe_slots.last() != Some(&(obj, eff)) {
+                self.journal.emit(
+                    self.flow,
+                    self.slot_ts(),
+                    EventKind::QoeShift {
+                        slot,
+                        objective: obj,
+                        effective: eff,
+                    },
+                );
+            }
+        }
         self.stage_slots.push(stage);
         self.qoe_slots.push((obj, eff));
     }
@@ -391,6 +464,16 @@ impl<'b> SessionAnalyzer<'b> {
             .collect();
         let obj: Vec<QoeLevel> = gameplay.iter().map(|&i| self.qoe_slots[i].0).collect();
         let eff: Vec<QoeLevel> = gameplay.iter().map(|&i| self.qoe_slots[i].1).collect();
+        let objective_qoe = majority_level(&obj);
+        let effective_qoe = majority_level(&eff);
+        self.journal.emit(
+            self.flow,
+            self.slot_ts(),
+            EventKind::SessionVerdict {
+                objective: objective_qoe,
+                effective: effective_qoe,
+            },
+        );
         SessionReport {
             title: self.title.unwrap_or(TitlePrediction {
                 title: None,
@@ -402,8 +485,8 @@ impl<'b> SessionAnalyzer<'b> {
             qoe_slots: self.qoe_slots,
             slot_width: self.bundle.stage_slot,
             mean_down_mbps,
-            objective_qoe: majority_level(&obj),
-            effective_qoe: majority_level(&eff),
+            objective_qoe,
+            effective_qoe,
         }
     }
 }

@@ -25,6 +25,7 @@ use nettrace::pcap::PcapRecord;
 use nettrace::units::Micros;
 use serde::{Deserialize, Serialize};
 
+use cgc_obs::journal::EventSink;
 use cgc_obs::{Gauge, Registry};
 
 use crate::bundle::ModelBundle;
@@ -104,11 +105,13 @@ fn shard_worker(
     rx: Receiver<ShardMsg>,
     metrics: MonitorMetrics,
     pipeline_metrics: PipelineMetrics,
+    journal: EventSink,
     queue_depth: Arc<Gauge>,
 ) -> (Vec<MonitoredSession>, ShardStats) {
     // The monitor borrows the Arc owned by this stack frame, so the worker
     // is 'static while the models stay shared and read-only.
     let mut monitor = TapMonitor::with_metrics(&bundle, config, metrics, pipeline_metrics);
+    monitor.set_journal(journal);
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Batch(records) => {
@@ -149,15 +152,33 @@ impl ShardedTapMonitor {
     /// Spawns `config.shards` worker threads over a shared bundle,
     /// recording telemetry into the process-wide registry.
     pub fn new(bundle: Arc<ModelBundle>, config: ShardedMonitorConfig) -> Self {
-        Self::with_registry(bundle, config, Registry::global())
+        Self::with_registry_and_journal(
+            bundle,
+            config,
+            Registry::global(),
+            cgc_obs::journal::global_sink(),
+        )
     }
 
     /// Spawns the front end recording telemetry into `registry` (used by
-    /// tests and fleet runs that need an isolated snapshot).
+    /// tests and fleet runs that need an isolated snapshot). No journal:
+    /// flight-recording on an isolated registry requires
+    /// [`ShardedTapMonitor::with_registry_and_journal`].
     pub fn with_registry(
         bundle: Arc<ModelBundle>,
         config: ShardedMonitorConfig,
         registry: &Registry,
+    ) -> Self {
+        Self::with_registry_and_journal(bundle, config, registry, EventSink::disabled())
+    }
+
+    /// Spawns the front end with both an isolated registry and a
+    /// flight-recorder sink; every shard's monitor emits into `journal`.
+    pub fn with_registry_and_journal(
+        bundle: Arc<ModelBundle>,
+        config: ShardedMonitorConfig,
+        registry: &Registry,
+        journal: EventSink,
     ) -> Self {
         let shards = config.shards.max(1);
         let batch_size = config.batch_size.max(1);
@@ -172,12 +193,13 @@ impl ShardedTapMonitor {
             let mc = config.monitor;
             let mm = monitor_metrics.clone();
             let pm = pipeline_metrics.clone();
+            let sink = journal.clone();
             let depth = MonitorMetrics::shard_queue_depth(registry, i);
             let worker_depth = Arc::clone(&depth);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tap-shard-{i}"))
-                    .spawn(move || shard_worker(b, mc, rx, mm, pm, worker_depth))
+                    .spawn(move || shard_worker(b, mc, rx, mm, pm, sink, worker_depth))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);

@@ -255,8 +255,10 @@ fn run_one(
 
     let arrival = sample_arrival(cfg.deployment_days, &mut rng);
 
-    // Run the pipeline.
+    // Run the pipeline. Flight-record against the session id (per-session
+    // runs have no five-tuple hash), timestamped from the arrival instant.
     let mut analyzer = SessionAnalyzer::new(bundle, AnalyzerConfig::default(), qoe);
+    analyzer.attach_journal(cgc_obs::journal::global_sink(), id, arrival);
     analyzer.analyze(&session.packets, &session.vol);
     let report = analyzer.finish();
 
@@ -301,6 +303,43 @@ pub fn fleet_progress_line(done: usize, total: usize, delta: &cgc_obs::Snapshot)
     format!("[fleet {done}/{total}] {}", clauses.join(", "))
 }
 
+/// The reporter loop behind [`run_fleet`]'s `telemetry_every` heartbeat:
+/// polls `done` until it reaches `total`, and each time `every` further
+/// units complete, calls `emit` with the completion count and the
+/// registry's counter *delta* since the previous report. Extracted (and
+/// parameterized over `emit`) so the delta mechanics are testable without
+/// racing a real fleet.
+pub fn telemetry_reporter(
+    registry: &cgc_obs::Registry,
+    done: &std::sync::atomic::AtomicUsize,
+    total: usize,
+    every: usize,
+    emit: &mut dyn FnMut(usize, cgc_obs::Snapshot),
+) {
+    use std::sync::atomic::Ordering;
+    if every == 0 {
+        return;
+    }
+    let mut prev = registry.snapshot();
+    let mut reported = 0usize;
+    loop {
+        // Acquire pairs with the workers' Release increment: a completion
+        // count of d means those d sessions' counter updates are visible
+        // in the snapshot taken below.
+        let d = done.load(Ordering::Acquire);
+        if d / every > reported {
+            reported = d / every;
+            let cur = registry.snapshot();
+            emit(d, cur.delta(&prev));
+            prev = cur;
+        }
+        if d >= total {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
 /// Runs the fleet in parallel, returning records ordered by session id.
 ///
 /// With [`FleetConfig::telemetry_every`] set, a reporter thread rides along
@@ -328,7 +367,7 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
                     }
                     let record = run_one(bundle, cfg, &mut generator, id as u64);
                     slots.lock()[id] = Some(record);
-                    done.fetch_add(1, Ordering::Relaxed);
+                    done.fetch_add(1, Ordering::Release);
                 }
             });
         }
@@ -336,25 +375,15 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
             // The reporter exits on its own once every session is done, so
             // the scope still joins promptly.
             scope.spawn(|| {
-                let registry = cgc_obs::Registry::global();
-                let mut prev = registry.snapshot();
-                let mut reported = 0usize;
-                loop {
-                    let d = done.load(Ordering::Relaxed);
-                    if d / cfg.telemetry_every > reported {
-                        reported = d / cfg.telemetry_every;
-                        let cur = registry.snapshot();
-                        eprintln!(
-                            "{}",
-                            fleet_progress_line(d, cfg.n_sessions, &cur.delta(&prev))
-                        );
-                        prev = cur;
-                    }
-                    if d >= cfg.n_sessions {
-                        break;
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                }
+                telemetry_reporter(
+                    cgc_obs::Registry::global(),
+                    &done,
+                    cfg.n_sessions,
+                    cfg.telemetry_every,
+                    &mut |d, delta| {
+                        eprintln!("{}", fleet_progress_line(d, cfg.n_sessions, &delta));
+                    },
+                );
             });
         }
     });
@@ -393,19 +422,41 @@ impl Default for TapFleetConfig {
     }
 }
 
+/// Everything a tap-fleet run produced: session reports, the metrics
+/// snapshot of the run's private registry, and the flight-recorder
+/// decision timelines (one per flow, admission order).
+#[derive(Debug)]
+pub struct TapFleetRun {
+    /// Per-session reports, sorted by flow start.
+    pub sessions: Vec<cgc_core::MonitoredSession>,
+    /// Final metrics snapshot of the run's private registry
+    /// (`cgc_monitor_*`, `cgc_shard_*`, `cgc_pipeline_*`, `cgc_qoe_*`,
+    /// `cgc_journal_*` series).
+    pub snapshot: cgc_obs::Snapshot,
+    /// Per-flow decision timelines from the run's journal.
+    pub timelines: Vec<cgc_obs::FlowTimeline>,
+}
+
+impl TapFleetRun {
+    /// The timeline recorded for `tuple`'s flow, if any.
+    pub fn timeline_for(
+        &self,
+        tuple: &nettrace::packet::FiveTuple,
+    ) -> Option<&cgc_obs::FlowTimeline> {
+        let id = tuple.flow_id();
+        self.timelines.iter().find(|t| t.flow == id)
+    }
+}
+
 /// Interleaves `n_sessions` popularity-sampled sessions on one tap and runs
-/// the feed through a [`ShardedTapMonitor`], returning the per-session
-/// reports (sorted by flow start) and a metrics [`Snapshot`]
-/// (`cgc_monitor_*`, `cgc_shard_*`, `cgc_pipeline_*`, `cgc_qoe_*` series)
-/// from a registry private to this run — the deployment analogue of
-/// [`run_fleet`], exercised through the packet path instead of per-session
-/// analyzers.
+/// the feed through a [`ShardedTapMonitor`], returning a [`TapFleetRun`]:
+/// per-session reports (sorted by flow start), a metrics snapshot, and
+/// per-flow decision timelines, all from a registry + journal private to
+/// this run — the deployment analogue of [`run_fleet`], exercised through
+/// the packet path instead of per-session analyzers.
 ///
-/// [`Snapshot`]: cgc_obs::Snapshot
-pub fn run_tap_fleet(
-    bundle: &std::sync::Arc<ModelBundle>,
-    cfg: &TapFleetConfig,
-) -> (Vec<cgc_core::MonitoredSession>, cgc_obs::Snapshot) {
+/// [`ShardedTapMonitor`]: cgc_core::ShardedTapMonitor
+pub fn run_tap_fleet(bundle: &std::sync::Arc<ModelBundle>, cfg: &TapFleetConfig) -> TapFleetRun {
     use nettrace::packet::{Direction, FiveTuple};
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9_0000);
@@ -432,20 +483,27 @@ pub fn run_tap_fleet(
     }
     feed.sort_by_key(|(ts, _, _)| *ts);
 
-    // A private registry so concurrent runs (tests, notably) can make
-    // exact assertions against their own counters.
+    // A private registry + journal so concurrent runs (tests, notably)
+    // can make exact assertions against their own counters and timelines.
     let registry = cgc_obs::Registry::new();
-    let mut monitor = cgc_core::ShardedTapMonitor::with_registry(
+    let (sink, journal) = cgc_obs::Journal::new(cgc_obs::JournalConfig::default(), &registry);
+    let mut monitor = cgc_core::ShardedTapMonitor::with_registry_and_journal(
         std::sync::Arc::clone(bundle),
         cgc_core::ShardedMonitorConfig::with_shards(cfg.shards),
         &registry,
+        sink,
     );
     for (ts, tuple, len) in &feed {
         monitor.ingest(*ts, tuple, *len);
     }
     let (mut sessions, _stats) = monitor.finish_all();
     sessions.sort_by_key(|m| m.started_at);
-    (sessions, registry.snapshot())
+    let timelines = journal.into_timelines();
+    TapFleetRun {
+        sessions,
+        snapshot: registry.snapshot(),
+        timelines,
+    }
 }
 
 #[cfg(test)]
@@ -520,7 +578,8 @@ mod tests {
             shards: 3,
             ..Default::default()
         };
-        let (sessions, snapshot) = run_tap_fleet(&bundle, &cfg);
+        let run = run_tap_fleet(&bundle, &cfg);
+        let (sessions, snapshot) = (&run.sessions, &run.snapshot);
         assert_eq!(sessions.len(), 6);
         assert!(sessions.iter().all(|m| m.confirmed));
         assert_eq!(
@@ -551,6 +610,21 @@ mod tests {
         );
         assert!(snapshot.histogram("cgc_monitor_batch_ns").unwrap().count > 0);
         assert!(snapshot.counter("cgc_qoe_slots_total").unwrap() > 0);
+        // The flight recorder rode along: one timeline per session, each
+        // bracketed by admission and closure, nothing dropped.
+        assert_eq!(run.timelines.len(), 6);
+        for m in sessions {
+            let tl = run.timeline_for(&m.tuple).expect("timeline per session");
+            assert_eq!(tl.first_event(), "flow_admitted");
+            assert_eq!(tl.last_event(), "flow_closed");
+        }
+        assert_eq!(
+            snapshot.counter("cgc_journal_dropped_events_total"),
+            Some(0)
+        );
+        let recorded = snapshot.counter("cgc_journal_events_total").unwrap();
+        let in_timelines: u64 = run.timelines.iter().map(|t| t.events.len() as u64).sum();
+        assert_eq!(recorded, in_timelines);
     }
 
     #[test]
@@ -567,6 +641,66 @@ mod tests {
         assert!(line.contains("a_total +5"));
         assert!(line.contains("b_total{title=dota_2} +2"));
         assert!(!line.contains("quiet_total"));
+    }
+
+    #[test]
+    fn telemetry_reporter_emits_exact_deltas_that_sum_to_final() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        // Deterministic harness: the "worker" adds to a counter, bumps
+        // `done` by `every`, then waits for the reporter to emit before
+        // the next batch — so every report boundary is observed exactly.
+        let registry = cgc_obs::Registry::new();
+        let counter = registry.counter("work_total", "units of work");
+        let done = AtomicUsize::new(0);
+        let reports: Mutex<Vec<(usize, cgc_obs::Snapshot)>> = Mutex::new(Vec::new());
+        const EVERY: usize = 2;
+        const BATCHES: usize = 5;
+        let before = registry.snapshot();
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                telemetry_reporter(&registry, &done, EVERY * BATCHES, EVERY, &mut |d, delta| {
+                    reports.lock().unwrap().push((d, delta));
+                });
+            });
+            for batch in 0..BATCHES {
+                counter.add(10 + batch as u64);
+                done.fetch_add(EVERY, Ordering::Release);
+                while reports.lock().unwrap().len() <= batch {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), BATCHES, "one report per `every` boundary");
+        for (batch, (d, delta)) in reports.iter().enumerate() {
+            assert_eq!(*d, (batch + 1) * EVERY);
+            assert_eq!(
+                delta.counter("work_total"),
+                Some(10 + batch as u64),
+                "delta of report {batch} is exactly that batch's increment"
+            );
+        }
+        // Deltas sum back to the final snapshot's total.
+        let summed: u64 = reports
+            .iter()
+            .filter_map(|(_, delta)| delta.counter("work_total"))
+            .sum();
+        let final_delta = registry.snapshot().delta(&before);
+        assert_eq!(Some(summed), final_delta.counter("work_total"));
+        assert_eq!(summed, counter.get());
+    }
+
+    #[test]
+    fn telemetry_reporter_zero_interval_is_inert() {
+        let registry = cgc_obs::Registry::new();
+        let done = std::sync::atomic::AtomicUsize::new(5);
+        let mut calls = 0usize;
+        telemetry_reporter(&registry, &done, 5, 0, &mut |_, _| calls += 1);
+        assert_eq!(calls, 0);
     }
 
     #[test]

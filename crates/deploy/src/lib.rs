@@ -28,5 +28,8 @@ pub mod fleet;
 pub mod report;
 pub mod train;
 
-pub use fleet::{run_fleet, run_tap_fleet, FleetConfig, SessionRecord, TapFleetConfig};
+pub use fleet::{
+    run_fleet, run_tap_fleet, telemetry_reporter, FleetConfig, SessionRecord, TapFleetConfig,
+    TapFleetRun,
+};
 pub use train::{train_bundle, TrainConfig};

@@ -146,6 +146,41 @@ pub fn metrics_table(snapshot: &cgc_obs::Snapshot) -> String {
     out
 }
 
+/// Renders flight-recorder decision timelines as a human table: one row
+/// per event, flows separated in admission order — the operator's answer
+/// to "why did *this* flow get labeled the way it did". Alongside
+/// [`metrics_table`], the second half of any instrumented run's text
+/// report.
+pub fn journal_table(timelines: &[cgc_obs::FlowTimeline]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for tl in timelines {
+        let flow = cgc_obs::Event::flow_short(tl.flow);
+        let endpoint = tl.addr.map_or("-".into(), |a| a.to_string());
+        for e in &tl.events {
+            rows.push(vec![
+                flow.clone(),
+                endpoint.clone(),
+                f(e.ts as f64 / 1e6, 1),
+                e.kind.name().into(),
+                e.kind.to_string(),
+            ]);
+        }
+        if tl.truncated {
+            rows.push(vec![
+                flow.clone(),
+                endpoint.clone(),
+                "-".into(),
+                "(truncated)".into(),
+                "events past the per-flow cap were dropped".into(),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    table(&["flow", "endpoints", "t(s)", "event", "detail"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +245,48 @@ mod tests {
     #[test]
     fn metrics_table_of_empty_snapshot_is_empty() {
         assert_eq!(metrics_table(&cgc_obs::Snapshot::default()), "");
+    }
+
+    #[test]
+    fn journal_table_renders_one_row_per_event() {
+        use cgc_obs::event::{CloseCause, EventKind};
+        let registry = cgc_obs::Registry::new();
+        let (sink, mut journal) =
+            cgc_obs::Journal::new(cgc_obs::JournalConfig::default(), &registry);
+        let addr = cgc_obs::FlowAddr {
+            server_ip: "10.0.0.1".parse().unwrap(),
+            server_port: 49003,
+            client_ip: "100.64.1.1".parse().unwrap(),
+            client_port: 50000,
+        };
+        let flow = 0x1_feed_face;
+        sink.emit(
+            flow,
+            0,
+            EventKind::FlowAdmitted {
+                addr,
+                platform: cgc_domain::Platform::GeForceNow,
+            },
+        );
+        sink.emit(
+            flow,
+            45_000_000,
+            EventKind::FlowClosed {
+                cause: CloseCause::Drained,
+                confirmed: true,
+            },
+        );
+        journal.drain();
+        let t = journal_table(journal.timelines());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 events:\n{t}");
+        assert!(lines[0].starts_with("flow"));
+        assert!(t.contains("feedface"));
+        assert!(t.contains("flow_admitted"));
+        assert!(t.contains("45.0"));
+        assert!(t.contains("closed (drained)"));
+        assert!(t.contains("10.0.0.1:49003 -> 100.64.1.1:50000"));
+        assert_eq!(journal_table(&[]), "");
     }
 
     #[test]

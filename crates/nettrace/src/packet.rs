@@ -148,6 +148,23 @@ impl FiveTuple {
     pub fn shard(&self, n: usize) -> usize {
         (self.shard_hash() % n.max(1) as u64) as usize
     }
+
+    /// The flow's journal/flight-recorder id: the direction-invariant
+    /// [`FiveTuple::shard_hash`], stable across processes and restarts.
+    pub fn flow_id(&self) -> u64 {
+        self.shard_hash()
+    }
+
+    /// The flow's endpoints as a journal [`FlowAddr`] (this tuple is taken
+    /// to already be in downstream orientation, `src` = server).
+    pub fn flow_addr(&self) -> cgc_obs::event::FlowAddr {
+        cgc_obs::event::FlowAddr {
+            server_ip: self.src_ip,
+            server_port: self.src_port,
+            client_ip: self.dst_ip,
+            client_port: self.dst_port,
+        }
+    }
 }
 
 impl fmt::Display for FiveTuple {

@@ -288,6 +288,16 @@ fn decode_frame(ts: Micros, frame: &[u8]) -> Option<PcapRecord> {
         }
         Err(_) => {
             metrics.rtp_malformed.inc();
+            // Flight-record the malformed payload against the flow so an
+            // operator can see codec trouble on a session's own timeline
+            // (free until a global journal is installed).
+            cgc_obs::journal::global_sink().emit(
+                tuple.flow_id(),
+                ts,
+                cgc_obs::event::EventKind::RtpInvalid {
+                    payload_len: udp_payload.len() as u32,
+                },
+            );
             Some(PcapRecord {
                 ts,
                 tuple,

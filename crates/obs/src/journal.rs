@@ -1,0 +1,517 @@
+//! The flight-recorder consumer: drains the event ring into per-flow
+//! decision timelines.
+//!
+//! Producers hold a cheap, cloneable [`EventSink`] and call
+//! [`EventSink::emit`] at decision points; the sink pushes into the shared
+//! lock-free ring and bumps the recorded/dropped counters. A single
+//! [`Journal`] owns the consumer side: [`Journal::drain`] moves queued
+//! events into [`FlowTimeline`]s (ordered event vectors keyed by flow id)
+//! plus a bounded global tail, both bounded by [`JournalConfig`] caps with
+//! explicit truncation accounting — nothing is ever lost silently.
+//!
+//! A disabled sink (the default for code paths that never installed a
+//! journal) is a single branch per emit, so instrumented hot paths pay
+//! nothing when nobody is recording.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Serialize, Value};
+
+use crate::event::{Event, EventKind, FlowAddr};
+use crate::metric::{Counter, Gauge};
+use crate::registry::Registry;
+use cgc_domain::Platform;
+
+/// Sizing knobs for the flight recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Ring capacity (rounded up to a power of two). Producers drop —
+    /// counted — when the consumer falls this far behind.
+    pub ring_capacity: usize,
+    /// Maximum distinct flows tracked; events for flows past the cap are
+    /// counted as truncated.
+    pub max_flows: usize,
+    /// Per-flow event cap; a timeline past the cap keeps its prefix and
+    /// marks itself truncated.
+    pub max_events_per_flow: usize,
+    /// Size of the global most-recent-events tail served by `/journal?tail=N`.
+    pub tail_events: usize,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            ring_capacity: 1 << 16,
+            max_flows: 4096,
+            max_events_per_flow: 1024,
+            tail_events: 512,
+        }
+    }
+}
+
+struct SinkShared {
+    ring: crate::event::EventRing<Event>,
+    recorded: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+/// Producer handle: clone freely, emit from any thread, never blocks.
+#[derive(Clone, Default)]
+pub struct EventSink {
+    shared: Option<Arc<SinkShared>>,
+}
+
+impl EventSink {
+    /// A sink that records nowhere — every emit is one branch.
+    pub fn disabled() -> Self {
+        EventSink { shared: None }
+    }
+
+    /// True when emits actually record somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Records one event, or counts it as dropped when the ring is full.
+    /// On a disabled sink this is a no-op.
+    pub fn emit(&self, flow: u64, ts: u64, kind: EventKind) {
+        if let Some(shared) = &self.shared {
+            match shared.ring.try_push(Event { flow, ts, kind }) {
+                Ok(()) => shared.recorded.inc(),
+                Err(_) => shared.dropped.inc(),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// One flow's ordered decision record.
+#[derive(Debug, Clone)]
+pub struct FlowTimeline {
+    /// Flow id (normalized five-tuple hash, or session id in fleet runs).
+    pub flow: u64,
+    /// Endpoints, filled in by the flow's `FlowAdmitted` event.
+    pub addr: Option<FlowAddr>,
+    /// Platform, filled in by the flow's `FlowAdmitted` event.
+    pub platform: Option<Platform>,
+    /// Events in arrival order (per-flow order is production order: each
+    /// flow's events come from one thread).
+    pub events: Vec<Event>,
+    /// True when the per-flow cap cut this timeline short.
+    pub truncated: bool,
+}
+
+impl FlowTimeline {
+    fn new(flow: u64) -> Self {
+        FlowTimeline {
+            flow,
+            addr: None,
+            platform: None,
+            events: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// The first event's kind name, or "empty".
+    pub fn first_event(&self) -> &'static str {
+        self.events.first().map_or("empty", |e| e.kind.name())
+    }
+
+    /// The last event's kind name, or "empty".
+    pub fn last_event(&self) -> &'static str {
+        self.events.last().map_or("empty", |e| e.kind.name())
+    }
+}
+
+impl Serialize for FlowTimeline {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("flow".into(), Value::String(Event::flow_hex(self.flow)))];
+        if let Some(addr) = &self.addr {
+            if let Value::Object(pairs) = addr.to_value() {
+                fields.extend(pairs);
+            }
+        }
+        if let Some(platform) = &self.platform {
+            fields.push(("platform".into(), Value::String(platform.to_string())));
+        }
+        fields.push(("truncated".into(), Value::Bool(self.truncated)));
+        fields.push((
+            "events".into(),
+            Value::Array(self.events.iter().map(|e| e.to_value()).collect()),
+        ));
+        Value::Object(fields)
+    }
+}
+
+/// Consumer side of the flight recorder: owns the drained state.
+pub struct Journal {
+    shared: Arc<SinkShared>,
+    config: JournalConfig,
+    /// Admission-ordered flow ids, parallel to `timelines` lookup.
+    order: Vec<u64>,
+    timelines: Vec<FlowTimeline>,
+    tail: VecDeque<Event>,
+    truncated: Arc<Counter>,
+    flows_gauge: Arc<Gauge>,
+}
+
+impl Journal {
+    /// Builds a journal plus the producer sink that feeds it, registering
+    /// the drop/volume counters on `registry`.
+    pub fn new(config: JournalConfig, registry: &Registry) -> (EventSink, Journal) {
+        let recorded = registry.counter(
+            "cgc_journal_events_total",
+            "Events accepted into the flight-recorder ring",
+        );
+        let dropped = registry.counter(
+            "cgc_journal_dropped_events_total",
+            "Events dropped because the flight-recorder ring was full",
+        );
+        let truncated = registry.counter(
+            "cgc_journal_truncated_events_total",
+            "Drained events discarded by per-flow or flow-count caps",
+        );
+        let flows_gauge = registry.gauge(
+            "cgc_journal_flows",
+            "Distinct flows currently held in the journal",
+        );
+        let shared = Arc::new(SinkShared {
+            ring: crate::event::EventRing::with_capacity(config.ring_capacity),
+            recorded,
+            dropped,
+        });
+        let sink = EventSink {
+            shared: Some(Arc::clone(&shared)),
+        };
+        let journal = Journal {
+            shared,
+            config,
+            order: Vec::new(),
+            timelines: Vec::new(),
+            tail: VecDeque::new(),
+            truncated,
+            flows_gauge,
+        };
+        (sink, journal)
+    }
+
+    /// Another producer handle for this journal.
+    pub fn sink(&self) -> EventSink {
+        EventSink {
+            shared: Some(Arc::clone(&self.shared)),
+        }
+    }
+
+    /// Moves every queued event out of the ring into timelines and the
+    /// tail. Returns how many events were drained (including ones the caps
+    /// then discarded). Cheap when the ring is empty.
+    pub fn drain(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(event) = self.shared.ring.try_pop() {
+            n += 1;
+            self.tail.push_back(event);
+            while self.tail.len() > self.config.tail_events {
+                self.tail.pop_front();
+            }
+            self.absorb(event);
+        }
+        self.flows_gauge.set(self.timelines.len() as i64);
+        n
+    }
+
+    fn absorb(&mut self, event: Event) {
+        let idx = match self.order.iter().position(|&f| f == event.flow) {
+            Some(i) => i,
+            None => {
+                if self.timelines.len() >= self.config.max_flows {
+                    self.truncated.inc();
+                    return;
+                }
+                self.order.push(event.flow);
+                self.timelines.push(FlowTimeline::new(event.flow));
+                self.timelines.len() - 1
+            }
+        };
+        let tl = &mut self.timelines[idx];
+        if let EventKind::FlowAdmitted { addr, platform } = event.kind {
+            tl.addr = Some(addr);
+            tl.platform = Some(platform);
+        }
+        if tl.events.len() >= self.config.max_events_per_flow {
+            tl.truncated = true;
+            self.truncated.inc();
+            return;
+        }
+        tl.events.push(event);
+    }
+
+    /// All timelines in flow-admission order (drain first for freshness).
+    pub fn timelines(&self) -> &[FlowTimeline] {
+        &self.timelines
+    }
+
+    /// Consumes the journal, yielding the timelines.
+    pub fn into_timelines(mut self) -> Vec<FlowTimeline> {
+        self.drain();
+        std::mem::take(&mut self.timelines)
+    }
+
+    /// The timeline for one flow id, if it has been seen.
+    pub fn timeline(&self, flow: u64) -> Option<&FlowTimeline> {
+        self.timelines.iter().find(|t| t.flow == flow)
+    }
+
+    /// The most recent `n` events across all flows, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let skip = self.tail.len().saturating_sub(n);
+        self.tail.iter().skip(skip).copied().collect()
+    }
+
+    /// JSONL export: one line per flow timeline, admission order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for tl in &self.timelines {
+            out.push_str(&render_line(tl));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSONL export of the last `n` events, one event per line.
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let mut out = String::new();
+        for e in self.tail(n) {
+            out.push_str(&render_line(&e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("flows", &self.timelines.len())
+            .field("tail", &self.tail.len())
+            .finish()
+    }
+}
+
+/// Compact single-line JSON for one serializable value (events and
+/// timelines serialize from plain owned data, so this cannot fail).
+pub fn render_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("journal serialization is infallible")
+}
+
+// ------------------------------------------------------------ global
+
+static GLOBAL: OnceLock<(EventSink, Arc<Mutex<Journal>>)> = OnceLock::new();
+
+/// Installs the process-wide journal on the global registry (first call
+/// wins; later calls return the existing instance). Code paths that use
+/// process-global metrics — `TapMonitor::new`, `run_one` — record here.
+pub fn install_global(config: JournalConfig) -> Arc<Mutex<Journal>> {
+    let (_, journal) = GLOBAL.get_or_init(|| {
+        let (sink, journal) = Journal::new(config, Registry::global());
+        (sink, Arc::new(Mutex::new(journal)))
+    });
+    Arc::clone(journal)
+}
+
+/// The process-wide journal, if one was installed.
+pub fn global() -> Option<Arc<Mutex<Journal>>> {
+    GLOBAL.get().map(|(_, j)| Arc::clone(j))
+}
+
+/// A sink feeding the process-wide journal — disabled (free) until
+/// [`install_global`] runs.
+pub fn global_sink() -> EventSink {
+    GLOBAL
+        .get()
+        .map(|(s, _)| s.clone())
+        .unwrap_or_else(EventSink::disabled)
+}
+
+/// Locks a shared journal, recovering from a poisoned mutex: a panicked
+/// exporter must not take the recorder down with it.
+pub fn lock_journal(journal: &Mutex<Journal>) -> std::sync::MutexGuard<'_, Journal> {
+    journal.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Convenience: total dropped-event count from a snapshot-capable registry
+/// is `cgc_journal_dropped_events_total`; this reads the sink's live value
+/// without a snapshot (used in asserts and health output).
+pub fn dropped_events(sink: &EventSink) -> u64 {
+    sink.shared.as_ref().map_or(0, |s| s.dropped.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CloseCause;
+
+    fn kinds() -> [EventKind; 3] {
+        [
+            EventKind::LaunchWindowClosed { packets: 10 },
+            EventKind::PatternInferred {
+                pattern: cgc_domain::ActivityPattern::ALL[0],
+                confidence: 0.8,
+            },
+            EventKind::FlowClosed {
+                cause: CloseCause::Drained,
+                confirmed: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn disabled_sink_is_a_noop() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(1, 0, kinds()[0]); // must not panic or record
+        assert_eq!(dropped_events(&sink), 0);
+    }
+
+    #[test]
+    fn drain_builds_per_flow_timelines_in_admission_order() {
+        let registry = Registry::new();
+        let (sink, mut journal) = Journal::new(JournalConfig::default(), &registry);
+        // Interleave two flows; flow 7 admitted first.
+        for (i, k) in kinds().into_iter().enumerate() {
+            sink.emit(7, i as u64 * 10, k);
+            sink.emit(3, i as u64 * 10 + 5, k);
+        }
+        assert_eq!(journal.drain(), 6);
+        let tls = journal.timelines();
+        assert_eq!(tls.len(), 2);
+        assert_eq!(tls[0].flow, 7);
+        assert_eq!(tls[1].flow, 3);
+        assert_eq!(tls[0].events.len(), 3);
+        assert_eq!(tls[0].first_event(), "launch_window_closed");
+        assert_eq!(tls[0].last_event(), "flow_closed");
+        assert!(tls[0].events.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cgc_journal_events_total"), Some(6));
+        assert_eq!(snap.counter("cgc_journal_dropped_events_total"), Some(0));
+        assert_eq!(snap.gauge("cgc_journal_flows"), Some(2));
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_never_silent() {
+        let registry = Registry::new();
+        let config = JournalConfig {
+            ring_capacity: 8,
+            ..JournalConfig::default()
+        };
+        let (sink, mut journal) = Journal::new(config, &registry);
+        for i in 0..20u64 {
+            sink.emit(1, i, kinds()[0]);
+        }
+        let drained = journal.drain();
+        let snap = registry.snapshot();
+        let recorded = snap.counter("cgc_journal_events_total").unwrap();
+        let dropped = snap.counter("cgc_journal_dropped_events_total").unwrap();
+        assert_eq!(recorded + dropped, 20);
+        assert_eq!(drained as u64, recorded);
+        assert!(dropped > 0, "an 8-slot ring cannot hold 20 events");
+    }
+
+    #[test]
+    fn caps_truncate_with_accounting() {
+        let registry = Registry::new();
+        let config = JournalConfig {
+            max_flows: 2,
+            max_events_per_flow: 2,
+            ..JournalConfig::default()
+        };
+        let (sink, mut journal) = Journal::new(config, &registry);
+        for flow in 1..=3u64 {
+            for i in 0..3u64 {
+                sink.emit(flow, i, kinds()[0]);
+            }
+        }
+        journal.drain();
+        let tls = journal.timelines();
+        assert_eq!(tls.len(), 2, "third flow rejected by max_flows");
+        assert!(tls.iter().all(|t| t.events.len() == 2 && t.truncated));
+        let snap = registry.snapshot();
+        // 2 flows x 1 over-cap event + 3 events of the rejected flow.
+        assert_eq!(snap.counter("cgc_journal_truncated_events_total"), Some(5));
+    }
+
+    #[test]
+    fn tail_keeps_most_recent_events_across_flows() {
+        let registry = Registry::new();
+        let config = JournalConfig {
+            tail_events: 4,
+            ..JournalConfig::default()
+        };
+        let (sink, mut journal) = Journal::new(config, &registry);
+        for i in 0..10u64 {
+            sink.emit(i % 3, i, kinds()[0]);
+        }
+        journal.drain();
+        let tail = journal.tail(4);
+        assert_eq!(tail.iter().map(|e| e.ts).collect::<Vec<_>>(), [6, 7, 8, 9]);
+        assert_eq!(journal.tail(2).len(), 2);
+        let jsonl = journal.tail_jsonl(2);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().all(|l| l.contains("\"event\":")));
+    }
+
+    #[test]
+    fn timeline_jsonl_is_one_object_per_flow() {
+        let registry = Registry::new();
+        let (sink, mut journal) = Journal::new(JournalConfig::default(), &registry);
+        let addr = FlowAddr {
+            server_ip: "10.1.2.3".parse().unwrap(),
+            server_port: 9999,
+            client_ip: "100.64.0.9".parse().unwrap(),
+            client_port: 51000,
+        };
+        sink.emit(
+            42,
+            0,
+            EventKind::FlowAdmitted {
+                addr,
+                platform: Platform::AmazonLuna,
+            },
+        );
+        sink.emit(42, 9, kinds()[2]);
+        journal.drain();
+        let jsonl = journal.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.contains("\"flow\":\"000000000000002a\""), "{line}");
+        assert!(line.contains("\"server\":\"10.1.2.3:9999\""), "{line}");
+        assert!(line.contains("\"platform\":"), "{line}");
+        assert!(line.contains("\"events\":["), "{line}");
+        let tl = journal.timeline(42).unwrap();
+        assert_eq!(tl.platform, Some(Platform::AmazonLuna));
+        assert!(journal.timeline(1).is_none());
+    }
+
+    #[test]
+    fn global_sink_is_disabled_until_install() {
+        // Note: other tests in this binary may have installed the global
+        // journal already; only assert the install-idempotence half when so.
+        let before_installed = global().is_some();
+        let j1 = install_global(JournalConfig::default());
+        let j2 = install_global(JournalConfig {
+            ring_capacity: 4,
+            ..JournalConfig::default()
+        });
+        assert!(Arc::ptr_eq(&j1, &j2), "second install returns the first");
+        assert!(global_sink().is_enabled());
+        let _ = before_installed;
+    }
+}

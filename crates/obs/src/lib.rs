@@ -16,6 +16,11 @@
 //! 3. **Two export formats.** Prometheus text exposition for scraping
 //!    ([`export::prometheus`]) and pretty JSON matching the artifact
 //!    format used by `deploy::report` ([`export::json`]).
+//! 4. **A flight recorder, not just aggregates.** Decision points emit
+//!    typed [`Event`]s through an [`EventSink`] into a lock-free bounded
+//!    ring; a [`Journal`] consumer materializes per-flow decision
+//!    timelines, and [`serve::TelemetryServer`] exposes `/metrics`,
+//!    `/healthz`, and `/journal` over plain HTTP with zero dependencies.
 //!
 //! ```
 //! use cgc_obs::{export, Registry};
@@ -35,15 +40,21 @@
 
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod export;
 pub mod hist;
+pub mod journal;
 pub mod metric;
 pub mod registry;
+pub mod serve;
 pub mod snapshot;
 pub mod timer;
 
+pub use event::{CloseCause, Event, EventKind, EventRing, FlowAddr};
 pub use hist::Histogram;
+pub use journal::{EventSink, FlowTimeline, Journal, JournalConfig};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
+pub use serve::TelemetryServer;
 pub use snapshot::{HistBucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
 pub use timer::{span, Span};

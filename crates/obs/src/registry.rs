@@ -10,7 +10,7 @@
 use crate::hist::Histogram;
 use crate::metric::{Counter, Gauge};
 use crate::snapshot::{MetricSnapshot, MetricValue, Snapshot};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// A registered metric of any kind.
 #[derive(Debug, Clone)]
@@ -122,21 +122,29 @@ impl Registry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> Metric,
     ) -> Metric {
+        // Labels are stored and compared in sorted order so the same
+        // series registered with a different label order deduplicates to
+        // one handle instead of silently splitting the series.
+        let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+        sorted.sort_unstable();
         let matches = |e: &Entry| {
             e.name == name
-                && e.labels.len() == labels.len()
+                && e.labels.len() == sorted.len()
                 && e.labels
                     .iter()
-                    .zip(labels)
+                    .zip(&sorted)
                     .all(|((k, v), (lk, lv))| k == lk && v == lv)
         };
         {
-            let entries = self.entries.read().unwrap();
+            // Poison recovery throughout: a panicking exporter thread must
+            // not wedge registration on the tap path — entries are only
+            // ever appended, so a poisoned guard still holds valid data.
+            let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(e) = entries.iter().find(|e| matches(e)) {
                 return e.metric.clone();
             }
         }
-        let mut entries = self.entries.write().unwrap();
+        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
         // Re-check: another thread may have registered between locks.
         if let Some(e) = entries.iter().find(|e| matches(e)) {
             return e.metric.clone();
@@ -144,7 +152,7 @@ impl Registry {
         let metric = make();
         entries.push(Entry {
             name: name.to_string(),
-            labels: labels
+            labels: sorted
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
@@ -156,7 +164,10 @@ impl Registry {
 
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.entries.read().unwrap().len()
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been registered.
@@ -166,7 +177,7 @@ impl Registry {
 
     /// Capture every registered metric, sorted by name then labels.
     pub fn snapshot(&self) -> Snapshot {
-        let entries = self.entries.read().unwrap();
+        let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
         let mut metrics: Vec<MetricSnapshot> = entries
             .iter()
             .map(|e| MetricSnapshot {
@@ -232,6 +243,66 @@ mod tests {
         assert_eq!(snap.counter("a_total"), Some(7));
         assert_eq!(snap.gauge("b_depth"), Some(3));
         assert_eq!(snap.histogram("c_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn duplicate_registration_returns_identical_handle() {
+        // Not just equal values: the very same allocation, so increments
+        // through either handle land on one series.
+        let r = Registry::new();
+        let a = r.counter("dup_total", "d");
+        let b = r.counter("dup_total", "other help text is ignored");
+        assert!(Arc::ptr_eq(&a, &b));
+        let g1 = r.gauge("dup_depth", "d");
+        let g2 = r.gauge("dup_depth", "d");
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let h1 = r.histogram("dup_ns", "d");
+        let h2 = r.histogram("dup_ns", "d");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.counter_with(
+            "lbl_total",
+            "l",
+            &[("kind", "objective"), ("level", "good")],
+        );
+        let b = r.counter_with(
+            "lbl_total",
+            "l",
+            &[("level", "good"), ("kind", "objective")],
+        );
+        assert!(Arc::ptr_eq(&a, &b), "reordered labels must deduplicate");
+        a.inc();
+        b.inc();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot().counter("lbl_total"), Some(2));
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_the_registry() {
+        let r = Arc::new(Registry::new());
+        r.counter("survives_total", "s").add(5);
+        // Poison the RwLock by panicking while holding the write guard.
+        let r2 = Arc::clone(&r);
+        let _ = std::thread::spawn(move || {
+            let _guard = r2.entries.write().unwrap();
+            panic!("exporter thread dies mid-write");
+        })
+        .join();
+        assert!(r.entries.is_poisoned());
+        // Every access path still works on the (append-only) data.
+        assert_eq!(r.len(), 1);
+        let c = r.counter("survives_total", "s");
+        c.inc();
+        let fresh = r.counter("post_poison_total", "p");
+        fresh.add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("survives_total"), Some(6));
+        assert_eq!(snap.counter("post_poison_total"), Some(2));
     }
 
     #[test]

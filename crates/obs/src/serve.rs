@@ -1,0 +1,281 @@
+//! Dependency-free blocking HTTP telemetry endpoint.
+//!
+//! One `std::net::TcpListener` + one thread, enough for a scraper and an
+//! operator with `curl` — deliberately not an async stack. Routes:
+//!
+//! - `GET /metrics` — live registry snapshot, Prometheus text exposition
+//! - `GET /healthz` — `ok`
+//! - `GET /journal` — flight-recorder timelines as JSONL (one flow per
+//!   line); `?flow=<hex id>` narrows to one timeline, `?tail=N` returns
+//!   the N most recent events (one event per line) instead
+//!
+//! The snapshot comes from a caller-supplied closure so the server works
+//! against the global registry, a private fleet registry, or anything
+//! else that can produce a [`Snapshot`]. Shutdown is edge-free: dropping
+//! [`TelemetryServer`] flips a flag and self-connects to unblock
+//! `accept`, then joins the thread.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::export;
+use crate::journal::{lock_journal, Journal};
+use crate::snapshot::Snapshot;
+
+/// A running telemetry endpoint; drops cleanly when it goes out of scope.
+pub struct TelemetryServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// serves until dropped. `snapshot` is called per `/metrics` request;
+    /// `journal`, when given, backs `/journal` (404 otherwise).
+    pub fn spawn<F>(
+        addr: &str,
+        snapshot: F,
+        journal: Option<Arc<Mutex<Journal>>>,
+    ) -> std::io::Result<TelemetryServer>
+    where
+        F: Fn() -> Snapshot + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    // A stalled client must not wedge the single thread.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                    handle_conn(&mut stream, &snapshot, journal.as_deref());
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn handle_conn<F: Fn() -> Snapshot>(
+    stream: &mut TcpStream,
+    snapshot: &F,
+    journal: Option<&Mutex<Journal>>,
+) {
+    let Some(target) = read_request_target(stream) else {
+        return;
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            export::prometheus(&snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/journal" => match journal {
+            Some(j) => ("200 OK", "application/jsonl", journal_body(j, query)),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no journal installed\n".to_string(),
+            ),
+        },
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Reads just enough of the request to get the target of the request
+/// line (`GET <target> HTTP/1.1`); returns `None` on anything malformed.
+fn read_request_target(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut used = 0;
+    loop {
+        if used == buf.len() {
+            return None; // request line absurdly long
+        }
+        let n = stream.read(&mut buf[used..]).ok()?;
+        if n == 0 {
+            return None;
+        }
+        used += n;
+        if buf[..used].contains(&b'\n') {
+            break;
+        }
+    }
+    let line = std::str::from_utf8(&buf[..used]).ok()?.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(target.to_string())
+}
+
+fn journal_body(journal: &Mutex<Journal>, query: &str) -> String {
+    let mut j = lock_journal(journal);
+    j.drain();
+    for kv in query.split('&') {
+        if let Some(n) = kv.strip_prefix("tail=") {
+            let n = n.parse::<usize>().unwrap_or(100);
+            return j.tail_jsonl(n);
+        }
+        if let Some(id) = kv.strip_prefix("flow=") {
+            let flow =
+                u64::from_str_radix(id.trim_start_matches("0x"), 16).or_else(|_| id.parse::<u64>());
+            return match flow.ok().and_then(|f| j.timeline(f)) {
+                Some(tl) => {
+                    let mut line = crate::journal::render_line(tl);
+                    line.push('\n');
+                    line
+                }
+                None => String::new(),
+            };
+        }
+    }
+    j.to_jsonl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::journal::JournalConfig;
+    use crate::registry::Registry;
+
+    fn get(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_journal() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("served_total", "requests").add(3);
+        let (sink, journal) = Journal::new(JournalConfig::default(), &registry);
+        sink.emit(
+            0xbeef,
+            1_000_000,
+            EventKind::LaunchWindowClosed { packets: 12 },
+        );
+        sink.emit(
+            0xbeef,
+            2_000_000,
+            EventKind::SessionVerdict {
+                objective: cgc_domain::QoeLevel::Good,
+                effective: cgc_domain::QoeLevel::Good,
+            },
+        );
+        let journal = Arc::new(Mutex::new(journal));
+        let reg = Arc::clone(&registry);
+        let server =
+            TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), Some(journal)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("# TYPE served_total counter"), "{body}");
+        assert!(body.contains("served_total 3"), "{body}");
+
+        let (head, body) = get(addr, "/journal");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body.lines().count(), 1, "one timeline line: {body}");
+        assert!(body.contains("\"flow\":\"000000000000beef\""), "{body}");
+
+        let (_, one) = get(addr, "/journal?flow=beef");
+        assert!(one.contains("launch_window_closed"), "{one}");
+        let (_, tail) = get(addr, "/journal?tail=1");
+        assert_eq!(tail.lines().count(), 1);
+        assert!(tail.contains("session_verdict"), "{tail}");
+        let (_, missing) = get(addr, "/journal?flow=1234");
+        assert!(missing.is_empty());
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn journal_route_404s_without_a_journal() {
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, _) = get(server.local_addr(), "/journal");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn drop_shuts_the_listener_down() {
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        // The port is closed (or at least no longer answering HTTP).
+        let answered = TcpStream::connect(addr)
+            .ok()
+            .and_then(|mut s| {
+                s.set_read_timeout(Some(Duration::from_millis(200))).ok()?;
+                write!(s, "GET /healthz HTTP/1.1\r\n\r\n").ok()?;
+                let mut out = String::new();
+                s.read_to_string(&mut out).ok()?;
+                (!out.is_empty()).then_some(out)
+            })
+            .is_some();
+        assert!(!answered, "server kept answering after drop");
+    }
+}

@@ -1,0 +1,93 @@
+//! Flight recorder: per-flow decision timelines from the tap front end.
+//! Two subscribers' sessions run through the sharded monitor with the
+//! process-wide journal installed; afterwards the journal answers "why
+//! did this flow get labeled the way it did" — as a human table, as
+//! JSONL, and over the live HTTP telemetry endpoint that
+//! `gamescope fleet --serve` exposes.
+//!
+//! ```text
+//! cargo run --release --example flight_recorder
+//! ```
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use gamescope::deploy::report::journal_table;
+use gamescope::deploy::train::{train_bundle, TrainConfig};
+use gamescope::domain::{GameTitle, StreamSettings};
+use gamescope::obs::journal::{install_global, lock_journal};
+use gamescope::obs::{JournalConfig, Registry, TelemetryServer};
+use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
+use gamescope::sim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
+use gamescope::trace::packet::Direction;
+
+fn main() {
+    // Install the journal before building the monitor: anything created
+    // afterwards records its decisions here.
+    let journal = install_global(JournalConfig::default());
+
+    println!("training models (quick config)...");
+    let bundle = Arc::new(train_bundle(&TrainConfig::quick()));
+
+    let mut generator = SessionGenerator::new();
+    let mut mk = |title: GameTitle, seed: u64| -> Session {
+        generator.generate(&SessionConfig {
+            kind: TitleKind::Known(title),
+            settings: StreamSettings::default_pc(),
+            gameplay_secs: 60.0,
+            fidelity: Fidelity::FullPackets,
+            seed,
+        })
+    };
+    let sessions = [
+        (0u64, mk(GameTitle::Fortnite, 11)),
+        (15_000_000, mk(GameTitle::Hearthstone, 22)),
+    ];
+
+    let mut monitor =
+        ShardedTapMonitor::new(Arc::clone(&bundle), ShardedMonitorConfig::with_shards(2));
+    for (offset, s) in &sessions {
+        for p in &s.packets {
+            let tuple = match p.dir {
+                Direction::Downstream => s.tuple,
+                Direction::Upstream => s.tuple.reversed(),
+            };
+            monitor.ingest(p.ts + offset, &tuple, p.payload_len);
+        }
+    }
+    let (out, _stats) = monitor.finish_all();
+    println!(
+        "monitored {} sessions; journal has their timelines:\n",
+        out.len()
+    );
+
+    let mut j = lock_journal(&journal);
+    j.drain();
+    println!("{}", journal_table(j.timelines()));
+
+    if let Some(tl) = j.timelines().first() {
+        println!("same data as JSONL (first timeline):");
+        println!("{}\n", gamescope::obs::journal::render_line(tl));
+    }
+    drop(j);
+
+    // The live endpoint `gamescope fleet --serve <addr>` exposes, scraped
+    // in-process: the three most recent events.
+    let server = TelemetryServer::spawn(
+        "127.0.0.1:0",
+        || Registry::global().snapshot(),
+        Some(journal),
+    )
+    .expect("bind telemetry endpoint");
+    let addr = server.local_addr();
+    println!("telemetry endpoint on http://{addr} — GET /journal?tail=3:");
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /journal?tail=3 HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("");
+    print!("{body}");
+}

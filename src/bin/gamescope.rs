@@ -6,16 +6,23 @@
 //! gamescope analyze <s.pcap> [--bundle bundle.json] [--quick]
 //! gamescope classify --pcap s.pcap [--bundle bundle.json]
 //! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
+//!                 [--serve 127.0.0.1:9090] [--journal fleet.jsonl]
 //! ```
 //!
 //! Every subcommand accepts `--metrics <path|->`: on exit the global
 //! metrics registry is snapshotted and dumped — Prometheus text to stdout
 //! for `-`, JSON for paths ending in `.json`, Prometheus text otherwise.
+//!
+//! The flight recorder rides along the same way: `--journal <path|->`
+//! dumps per-flow decision timelines as JSONL on exit, `--journal-table`
+//! prints them as a human table on stderr, and `--serve <addr>` runs a
+//! live telemetry endpoint (`/metrics`, `/healthz`, `/journal`) for the
+//! duration of the command.
 
 use std::process::ExitCode;
 
 use gamescope::deploy::fleet::{run_fleet, FleetConfig};
-use gamescope::deploy::report::metrics_table;
+use gamescope::deploy::report::{journal_table, metrics_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
 use gamescope::obs;
@@ -33,13 +40,19 @@ USAGE:
   gamescope analyze  <s.pcap> [--bundle <bundle.json>] [--quick]
   gamescope classify --pcap <s.pcap> [--bundle <bundle.json>] [--quick]
   gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
-                     [--telemetry-every <n>]
+                     [--telemetry-every <n>] [--serve <addr>]
 
 OPTIONS (all subcommands):
   --metrics <path|->   dump a metrics snapshot on exit: '-' prints
                        Prometheus text to stdout, '*.json' writes JSON,
                        anything else writes Prometheus text to the path
   --metrics-table      print the snapshot as an aligned table on stderr
+  --journal <path|->   dump flight-recorder timelines as JSONL on exit:
+                       '-' prints to stdout, anything else writes the path
+  --journal-table      print the timelines as an aligned table on stderr
+  --serve <addr>       serve GET /metrics, /healthz and /journal over HTTP
+                       (e.g. 127.0.0.1:9090; port 0 picks a free port)
+                       while the command runs
 ";
 
 /// Removes `--name <value>` from `args`, returning the value.
@@ -279,10 +292,59 @@ fn main() -> ExitCode {
         }
     };
     let verbose_metrics = take_flag(&mut args, "--metrics-table");
+    let journal_target = match take_value(&mut args, "--journal") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verbose_journal = take_flag(&mut args, "--journal-table");
+    let serve_addr = match take_value(&mut args, "--serve") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+
+    // Any flight-recorder option installs the process-wide journal before
+    // the command runs, so every monitor/analyzer built from here on
+    // records into it.
+    let journal = if journal_target.is_some() || verbose_journal || serve_addr.is_some() {
+        Some(obs::journal::install_global(obs::JournalConfig::default()))
+    } else {
+        None
+    };
+    // Held for the duration of the command: dropped (and thus shut down)
+    // when `main` returns.
+    let _server = match &serve_addr {
+        Some(addr) => {
+            match obs::TelemetryServer::spawn(
+                addr,
+                || obs::Registry::global().snapshot(),
+                journal.clone(),
+            ) {
+                Ok(server) => {
+                    eprintln!(
+                        "telemetry: serving /metrics /healthz /journal on http://{}",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: binding --serve {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     let cmd = args.remove(0);
     let result = match cmd.as_str() {
         "train" => cmd_train(args),
@@ -307,6 +369,26 @@ fn main() -> ExitCode {
         }
         if target != "-" {
             eprintln!("metrics snapshot written to {target}");
+        }
+    }
+
+    if let Some(journal) = &journal {
+        let mut journal = obs::journal::lock_journal(journal);
+        journal.drain();
+        if verbose_journal {
+            eprintln!("\n{}", journal_table(journal.timelines()));
+        }
+        if let Some(target) = journal_target {
+            let body = journal.to_jsonl();
+            if target == "-" {
+                print!("{body}");
+            } else {
+                if let Err(e) = std::fs::write(&target, body) {
+                    eprintln!("error: writing journal to {target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("journal written to {target}");
+            }
         }
     }
     ExitCode::SUCCESS
