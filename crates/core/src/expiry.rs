@@ -15,7 +15,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+use std::sync::Arc;
 
+use nettrace::clock::{RealClock, SharedClock};
 use nettrace::units::Micros;
 
 /// Per-entry bookkeeping: the newest bucket holding a live entry for the
@@ -44,17 +46,40 @@ pub struct ExpiryWheel<K> {
     /// the observability counter proving expiry work is proportional to due
     /// flows, not to the table size.
     scanned: u64,
+    /// Time source behind [`drain_idle`](Self::drain_idle): wall time in
+    /// deployment, a `VirtualClock` in tests.
+    clock: SharedClock,
 }
 
 impl<K: Copy + Eq + Hash> ExpiryWheel<K> {
-    /// A wheel with the given bucket width (clamped to ≥ 1 µs).
+    /// A wheel with the given bucket width (clamped to ≥ 1 µs), running
+    /// idle expiry on wall time.
     pub fn new(bucket_width: Micros) -> Self {
+        Self::with_clock(bucket_width, Arc::new(RealClock::new()))
+    }
+
+    /// A wheel whose [`drain_idle`](Self::drain_idle) cutoffs come from
+    /// `clock` — inject a `VirtualClock` for deterministic, instant
+    /// expiry tests.
+    pub fn with_clock(bucket_width: Micros, clock: SharedClock) -> Self {
         ExpiryWheel {
             buckets: BTreeMap::new(),
             slots: HashMap::new(),
             width: bucket_width.max(1),
             scanned: 0,
+            clock,
         }
+    }
+
+    /// Replaces the wheel's time source (existing entries are unaffected;
+    /// only future `drain_idle` cutoffs move to the new clock).
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
+    }
+
+    /// The wheel's current time, on its clock's axis.
+    pub fn clock_now(&self) -> Micros {
+        self.clock.now()
     }
 
     /// Number of live keys.
@@ -141,6 +166,17 @@ impl<K: Copy + Eq + Hash> ExpiryWheel<K> {
             }
         }
         due
+    }
+
+    /// Removes and returns every key idle for `idle_timeout` or longer on
+    /// the wheel's clock — `drain_due(clock.now() - idle_timeout)`. This
+    /// is the deployment-facing form of expiry: with a `RealClock` a
+    /// long-lived monitor expires flows on wall time; with a
+    /// `VirtualClock` tests advance time explicitly and expiry is
+    /// deterministic and instant.
+    pub fn drain_idle(&mut self, idle_timeout: Micros) -> Vec<K> {
+        let cutoff = self.clock.now().saturating_sub(idle_timeout);
+        self.drain_due(cutoff)
     }
 
     /// Removes and returns the exact least-recently-seen key, cleaning up
@@ -276,6 +312,36 @@ mod tests {
         }
         assert!(w.is_empty());
         assert_eq!(w.bucket_count(), 0);
+    }
+
+    #[test]
+    fn drain_idle_runs_on_virtual_time_deterministically() {
+        use nettrace::clock::VirtualClock;
+        let clock = VirtualClock::starting_at(0);
+        let mut w: ExpiryWheel<u32> = ExpiryWheel::with_clock(1_000_000, clock.shared());
+        w.touch(1, 100);
+        w.touch(2, 30_000_000);
+        // Clock still at flow 2's era: only flow 1 is 60 s idle.
+        clock.advance_to(61_000_000);
+        assert_eq!(w.drain_idle(60_000_000), vec![1]);
+        assert_eq!(w.drain_idle(60_000_000), Vec::<u32>::new());
+        // Jump the virtual clock — no wall waiting — and flow 2 expires.
+        clock.advance_by(30_000_000);
+        assert_eq!(w.drain_idle(60_000_000), vec![2]);
+        assert!(w.is_empty());
+        assert_eq!(w.clock_now(), 91_000_000);
+    }
+
+    #[test]
+    fn set_clock_moves_future_cutoffs() {
+        use nettrace::clock::VirtualClock;
+        let mut w: ExpiryWheel<u32> = ExpiryWheel::new(1_000);
+        w.touch(9, 10);
+        // On the default wall clock (origin 0, just constructed) nothing
+        // is an hour idle; swap in a virtual clock far in the future.
+        let late = VirtualClock::starting_at(3_600_000_000 * 24);
+        w.set_clock(late.shared());
+        assert_eq!(w.drain_idle(3_600_000_000), vec![9]);
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct FleetConfig {
     /// since the previous report) every this many completed sessions.
     /// `0` disables the reporter.
     pub telemetry_every: usize,
+    /// Cooperative cancellation flag (a Ctrl-C handler sets it): workers
+    /// stop claiming sessions once it reads `true`, and [`run_fleet`]
+    /// returns the records completed so far.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for FleetConfig {
@@ -72,6 +76,7 @@ impl Default for FleetConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             telemetry_every: 0,
+            cancel: None,
         }
     }
 }
@@ -346,6 +351,10 @@ pub fn telemetry_reporter(
 /// and prints a [`fleet_progress_line`] delta of the global metrics
 /// registry each time that many further sessions complete — the
 /// deployment's heartbeat log.
+///
+/// With [`FleetConfig::cancel`] set, flipping the flag makes workers skip
+/// the remaining sessions; the returned records then cover only the
+/// sessions that completed (still in id order).
 pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -354,6 +363,11 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let slots = parking_lot::Mutex::new(&mut records);
+    let cancelled = || {
+        cfg.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    };
 
     // Scoped workers: a panicking worker propagates when the scope joins.
     std::thread::scope(|scope| {
@@ -364,6 +378,13 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
                     let id = next.fetch_add(1, Ordering::Relaxed);
                     if id >= cfg.n_sessions {
                         break;
+                    }
+                    if cancelled() {
+                        // Keep claiming ids (so `done` still reaches the
+                        // total and the telemetry reporter exits) but skip
+                        // the work; the slot stays empty.
+                        done.fetch_add(1, Ordering::Release);
+                        continue;
                     }
                     let record = run_one(bundle, cfg, &mut generator, id as u64);
                     slots.lock()[id] = Some(record);
@@ -388,10 +409,9 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
         }
     });
 
-    records
-        .into_iter()
-        .map(|r| r.expect("all sessions completed"))
-        .collect()
+    // Empty slots only exist after a cancellation; flatten keeps the
+    // completed records in id order either way.
+    records.into_iter().flatten().collect()
 }
 
 /// Tap-fleet configuration: many subscribers' sessions interleaved on one
@@ -448,20 +468,17 @@ impl TapFleetRun {
     }
 }
 
-/// Interleaves `n_sessions` popularity-sampled sessions on one tap and runs
-/// the feed through a [`ShardedTapMonitor`], returning a [`TapFleetRun`]:
-/// per-session reports (sorted by flow start), a metrics snapshot, and
-/// per-flow decision timelines, all from a registry + journal private to
-/// this run — the deployment analogue of [`run_fleet`], exercised through
-/// the packet path instead of per-session analyzers.
-///
-/// [`ShardedTapMonitor`]: cgc_core::ShardedTapMonitor
-pub fn run_tap_fleet(bundle: &std::sync::Arc<ModelBundle>, cfg: &TapFleetConfig) -> TapFleetRun {
-    use nettrace::packet::{Direction, FiveTuple};
+/// Builds the interleaved tap feed [`run_tap_fleet`] analyzes:
+/// `n_sessions` popularity-sampled sessions staggered on one link, each
+/// packet as a `(ts, wire_tuple, payload_len)` tap record, sorted by
+/// timestamp. Deterministic in `cfg` — the replay and offline paths call
+/// this with the same config to analyze the *same* traffic.
+pub fn build_tap_feed(cfg: &TapFleetConfig) -> Vec<cgc_core::shard::TapRecord> {
+    use nettrace::packet::Direction;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9_0000);
     let mut generator = SessionGenerator::new();
-    let mut feed: Vec<(u64, FiveTuple, u32)> = Vec::new();
+    let mut feed: Vec<cgc_core::shard::TapRecord> = Vec::new();
     for i in 0..cfg.n_sessions as u64 {
         let fleet_cfg = FleetConfig::default();
         let kind = sample_kind(&mut rng, &fleet_cfg);
@@ -482,6 +499,19 @@ pub fn run_tap_fleet(bundle: &std::sync::Arc<ModelBundle>, cfg: &TapFleetConfig)
         }
     }
     feed.sort_by_key(|(ts, _, _)| *ts);
+    feed
+}
+
+/// Interleaves `n_sessions` popularity-sampled sessions on one tap and runs
+/// the feed through a [`ShardedTapMonitor`], returning a [`TapFleetRun`]:
+/// per-session reports (sorted by flow start), a metrics snapshot, and
+/// per-flow decision timelines, all from a registry + journal private to
+/// this run — the deployment analogue of [`run_fleet`], exercised through
+/// the packet path instead of per-session analyzers.
+///
+/// [`ShardedTapMonitor`]: cgc_core::ShardedTapMonitor
+pub fn run_tap_fleet(bundle: &std::sync::Arc<ModelBundle>, cfg: &TapFleetConfig) -> TapFleetRun {
+    let feed = build_tap_feed(cfg);
 
     // A private registry + journal so concurrent runs (tests, notably)
     // can make exact assertions against their own counters and timelines.
@@ -503,6 +533,105 @@ pub fn run_tap_fleet(bundle: &std::sync::Arc<ModelBundle>, cfg: &TapFleetConfig)
         sessions,
         snapshot: registry.snapshot(),
         timelines,
+    }
+}
+
+/// Knobs of a paced tap-fleet replay beyond the feed itself.
+#[derive(Debug, Clone, Default)]
+pub struct TapReplayOptions {
+    /// Pacing of the recorded timeline (default: real time, `pace = 1.0`).
+    pub replay: cgc_ingest::ReplayConfig,
+    /// Queue sizing and backpressure policy (the engine clock field is
+    /// overwritten with the replay clock).
+    pub ingest: cgc_ingest::IngestConfig,
+    /// Expire idle flows every this many µs of replay-clock time; `None`
+    /// (the default) finalizes everything at shutdown instead, keeping
+    /// the run byte-identical to the offline batch path.
+    pub idle_check: Option<u64>,
+    /// Cooperative cancellation flag (a Ctrl-C handler sets it); the
+    /// replay stops between records and the engine drains gracefully.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+/// A [`TapFleetRun`] produced through the live ingestion path, plus the
+/// replay and queue accounting of the run.
+#[derive(Debug)]
+pub struct TapReplayRun {
+    /// The session reports, metrics snapshot and decision timelines —
+    /// same shape as the offline [`run_tap_fleet`] output.
+    pub fleet: TapFleetRun,
+    /// What the pacing engine released (and whether it was cancelled).
+    pub replay: cgc_ingest::ReplayStats,
+    /// Records admitted into the ingest queues.
+    pub enqueued: u64,
+    /// Records handed from the queues to the monitor.
+    pub handed_off: u64,
+    /// Records lost to backpressure (zero under the `block` policy).
+    pub dropped: u64,
+}
+
+/// Runs the same tap fleet as [`run_tap_fleet`], but through the live
+/// ingestion path: the feed is replayed against `clock` at the recorded
+/// timestamps (scaled by `opts.replay.pace`), flows through bounded
+/// ingest queues with backpressure, and is drained by the engine's
+/// router into the sharded monitor. Shutdown is graceful — producers
+/// quiesce, queues drain dry, and every still-open flow gets its final
+/// session verdict.
+///
+/// With a [`VirtualClock`](nettrace::VirtualClock) this completes
+/// instantly and deterministically; with a real clock it takes
+/// `capture_duration / pace` of wall time.
+pub fn run_tap_fleet_replay(
+    bundle: &std::sync::Arc<ModelBundle>,
+    cfg: &TapFleetConfig,
+    clock: nettrace::clock::SharedClock,
+    opts: TapReplayOptions,
+) -> TapReplayRun {
+    use cgc_ingest::{IngestEngine, MonitorSink};
+
+    let feed = build_tap_feed(cfg);
+    let registry = cgc_obs::Registry::new();
+    let (sink, journal) = cgc_obs::Journal::new(cgc_obs::JournalConfig::default(), &registry);
+    let monitor = cgc_core::ShardedTapMonitor::with_registry_and_journal(
+        std::sync::Arc::clone(bundle),
+        cgc_core::ShardedMonitorConfig::with_shards(cfg.shards),
+        &registry,
+        sink,
+    );
+    let monitor_sink = match opts.idle_check {
+        Some(every) => MonitorSink::with_idle_checks(monitor, every),
+        None => MonitorSink::new(monitor),
+    };
+    let mut ingest_cfg = opts.ingest;
+    ingest_cfg.clock = Some(std::sync::Arc::clone(&clock));
+    let engine = IngestEngine::start(monitor_sink, ingest_cfg, &registry);
+    let producer = engine.producer();
+    let metrics = engine.metrics().clone();
+    let replay_stats = cgc_ingest::replay(
+        &feed,
+        &*clock,
+        &opts.replay,
+        Some(&metrics),
+        opts.cancel.as_deref(),
+        |record| {
+            producer.push_record(record);
+        },
+    );
+    drop(producer);
+    let run = engine.shutdown();
+    let (mut sessions, _stats) = run.output;
+    sessions.sort_by_key(|m| m.started_at);
+    let timelines = journal.into_timelines();
+    TapReplayRun {
+        fleet: TapFleetRun {
+            sessions,
+            snapshot: registry.snapshot(),
+            timelines,
+        },
+        replay: replay_stats,
+        enqueued: run.enqueued,
+        handed_off: run.handed_off,
+        dropped: run.dropped,
     }
 }
 
@@ -625,6 +754,69 @@ mod tests {
         let recorded = snapshot.counter("cgc_journal_events_total").unwrap();
         let in_timelines: u64 = run.timelines.iter().map(|t| t.events.len() as u64).sum();
         assert_eq!(recorded, in_timelines);
+    }
+
+    #[test]
+    fn tap_fleet_replay_on_virtual_clock_matches_offline() {
+        let bundle = std::sync::Arc::new(train_bundle(&TrainConfig::quick()));
+        let cfg = TapFleetConfig {
+            n_sessions: 4,
+            gameplay_secs: 12.0,
+            shards: 2,
+            ..Default::default()
+        };
+        let offline = run_tap_fleet(&bundle, &cfg);
+        let clock = nettrace::VirtualClock::new();
+        let live = run_tap_fleet_replay(&bundle, &cfg, clock.shared(), TapReplayOptions::default());
+        assert_eq!(live.dropped, 0, "block policy replay is lossless");
+        assert!(!live.replay.cancelled);
+        assert_eq!(live.enqueued, live.handed_off);
+        assert_eq!(live.replay.released, live.enqueued);
+        // Full byte-level journal equivalence lives in tests/e2e_ingest.rs;
+        // here: same sessions, same reports, through the live path.
+        assert_eq!(live.fleet.sessions.len(), offline.sessions.len());
+        for (a, b) in offline.sessions.iter().zip(&live.fleet.sessions) {
+            assert_eq!(a.tuple, b.tuple);
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_fleet_returns_partial_records_in_order() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let bundle = train_bundle(&TrainConfig::quick());
+        let cancel = std::sync::Arc::new(AtomicBool::new(true)); // pre-cancelled
+        let records = run_fleet(
+            &bundle,
+            &FleetConfig {
+                n_sessions: 8,
+                duration_scale: 0.05,
+                workers: 2,
+                cancel: Some(std::sync::Arc::clone(&cancel)),
+                ..Default::default()
+            },
+        );
+        assert!(records.is_empty(), "pre-cancelled run completes nothing");
+
+        cancel.store(false, Ordering::Relaxed);
+        let records = run_fleet(
+            &bundle,
+            &FleetConfig {
+                n_sessions: 4,
+                duration_scale: 0.05,
+                workers: 2,
+                cancel: Some(cancel),
+                ..Default::default()
+            },
+        );
+        assert_eq!(records.len(), 4, "uncancelled flag changes nothing");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod report;
 pub mod train;
 
 pub use fleet::{
-    run_fleet, run_tap_fleet, telemetry_reporter, FleetConfig, SessionRecord, TapFleetConfig,
-    TapFleetRun,
+    build_tap_feed, run_fleet, run_tap_fleet, run_tap_fleet_replay, telemetry_reporter,
+    FleetConfig, SessionRecord, TapFleetConfig, TapFleetRun, TapReplayOptions, TapReplayRun,
 };
 pub use train::{train_bundle, TrainConfig};

@@ -1,0 +1,244 @@
+//! Paced release of recorded tap records against a [`Clock`].
+//!
+//! A recorded capture (pcap file or gamesim session feed) carries its
+//! own timeline in the per-record timestamps. The replayer turns that
+//! timeline back into wall-clock arrival pacing: record `i` is released
+//! when the clock reaches
+//!
+//! ```text
+//! deadline(i) = origin + (ts(i) - ts(0)) / pace
+//! ```
+//!
+//! where `origin` is the clock reading when replay starts. `pace = 1.0`
+//! replays in real time (special-cased to exact integer arithmetic),
+//! `pace = 2.0` at double speed, and `pace = 0.0` means as-fast-as-
+//! possible — no sleeping at all, which turns the replayer into a plain
+//! feed iterator for offline runs.
+//!
+//! Against a [`VirtualClock`](nettrace::VirtualClock) the same code path
+//! is deterministic and instant: `sleep_until` jumps the clock to the
+//! deadline, so tests exercise the full pacing logic without wall time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use cgc_core::shard::TapRecord;
+use nettrace::clock::Clock;
+use nettrace::pcap::PcapRecord;
+use nettrace::units::Micros;
+
+use crate::metrics::IngestMetrics;
+
+/// How fast to release a recorded timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Speed multiplier over the recorded timeline: `1.0` = real time,
+    /// `2.0` = double speed, `0.0` = as fast as possible (no pacing).
+    pub pace: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { pace: 1.0 }
+    }
+}
+
+impl ReplayConfig {
+    /// Replay with no pacing at all — every record released immediately.
+    pub fn as_fast_as_possible() -> Self {
+        ReplayConfig { pace: 0.0 }
+    }
+
+    /// Whether this configuration paces releases (a zero or negative
+    /// multiplier disables pacing entirely).
+    pub fn paced(&self) -> bool {
+        self.pace > 0.0
+    }
+
+    /// Scales a recorded-timeline offset into a replay-timeline offset.
+    /// Real-time pace keeps exact integer microseconds; other paces go
+    /// through f64 (sub-microsecond rounding is far below pacing jitter).
+    fn scale(&self, delta: Micros) -> Micros {
+        if self.pace == 1.0 {
+            delta
+        } else {
+            (delta as f64 / self.pace) as Micros
+        }
+    }
+}
+
+/// What one replay run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Records released to the delivery callback.
+    pub released: u64,
+    /// True when a cancel flag stopped the run before the end of the feed.
+    pub cancelled: bool,
+    /// Worst observed release lag behind the pacing deadline, µs.
+    pub max_lag_us: Micros,
+}
+
+/// Converts decoded pcap records into the monitor's tap-record shape.
+pub fn pcap_feed(records: &[PcapRecord]) -> Vec<TapRecord> {
+    records
+        .iter()
+        .map(|r| (r.ts, r.tuple, r.payload_len))
+        .collect()
+}
+
+/// Replays `records` against `clock`, releasing each to `deliver` at its
+/// paced deadline. Records must be sorted by timestamp (capture order).
+///
+/// `metrics`, when given, counts releases (`cgc_ingest_replayed_total`)
+/// and records per-release lag (`cgc_ingest_pacing_lag_us`). `cancel`,
+/// when given, is checked before every release so a Ctrl-C can stop a
+/// long replay between records; the cut is reported in the stats, never
+/// silent.
+pub fn replay<F>(
+    records: &[TapRecord],
+    clock: &dyn Clock,
+    config: &ReplayConfig,
+    metrics: Option<&IngestMetrics>,
+    cancel: Option<&AtomicBool>,
+    mut deliver: F,
+) -> ReplayStats
+where
+    F: FnMut(TapRecord),
+{
+    let mut stats = ReplayStats::default();
+    let Some(&(first_ts, _, _)) = records.first() else {
+        return stats;
+    };
+    let origin = clock.now();
+    for &record in records {
+        if let Some(flag) = cancel {
+            if flag.load(Ordering::Relaxed) {
+                stats.cancelled = true;
+                break;
+            }
+        }
+        if config.paced() {
+            let deadline = origin + config.scale(record.0.saturating_sub(first_ts));
+            clock.sleep_until(deadline);
+            let lag = clock.now().saturating_sub(deadline);
+            stats.max_lag_us = stats.max_lag_us.max(lag);
+            if let Some(m) = metrics {
+                m.pacing_lag_us.record(lag);
+            }
+        }
+        deliver(record);
+        stats.released += 1;
+        if let Some(m) = metrics {
+            m.replayed.inc();
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::clock::VirtualClock;
+    use nettrace::packet::FiveTuple;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::udp_v4([10, 0, 0, 1], 49003, [100, 64, 1, 1], 50000)
+    }
+
+    fn feed(timestamps: &[Micros]) -> Vec<TapRecord> {
+        timestamps.iter().map(|&ts| (ts, tuple(), 1200)).collect()
+    }
+
+    #[test]
+    fn real_time_pace_releases_at_recorded_offsets() {
+        // Capture starts at t=5s; replay clock starts at t=100s. Offsets
+        // must be preserved relative to the replay origin, not absolute.
+        let clock = VirtualClock::starting_at(100_000_000);
+        let records = feed(&[5_000_000, 5_250_000, 6_000_000]);
+        let mut release_times = Vec::new();
+        let stats = replay(
+            &records,
+            &clock,
+            &ReplayConfig::default(),
+            None,
+            None,
+            |_| release_times.push(clock.now()),
+        );
+        assert_eq!(stats.released, 3);
+        assert!(!stats.cancelled);
+        assert_eq!(release_times, [100_000_000, 100_250_000, 101_000_000]);
+        assert_eq!(
+            stats.max_lag_us, 0,
+            "virtual clock lands exactly on deadlines"
+        );
+    }
+
+    #[test]
+    fn pace_multiplier_compresses_the_timeline() {
+        let clock = VirtualClock::starting_at(0);
+        let records = feed(&[0, 1_000_000, 2_000_000]);
+        let mut release_times = Vec::new();
+        replay(
+            &records,
+            &clock,
+            &ReplayConfig { pace: 4.0 },
+            None,
+            None,
+            |_| release_times.push(clock.now()),
+        );
+        assert_eq!(
+            release_times,
+            [0, 250_000, 500_000],
+            "4x pace quarters offsets"
+        );
+    }
+
+    #[test]
+    fn afap_pace_never_advances_a_virtual_clock() {
+        let clock = VirtualClock::starting_at(7);
+        let records = feed(&[0, 10_000_000, 20_000_000]);
+        let stats = replay(
+            &records,
+            &clock,
+            &ReplayConfig::as_fast_as_possible(),
+            None,
+            None,
+            |_| {},
+        );
+        assert_eq!(stats.released, 3);
+        assert_eq!(clock.now(), 7, "no pacing means no sleeps at all");
+    }
+
+    #[test]
+    fn cancel_flag_stops_between_records_and_is_reported() {
+        let clock = VirtualClock::starting_at(0);
+        let records = feed(&[0, 1, 2, 3, 4]);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut released = 0u64;
+        let stats = replay(
+            &records,
+            &clock,
+            &ReplayConfig::default(),
+            None,
+            Some(&cancel),
+            |_| {
+                released += 1;
+                if released == 2 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        assert!(stats.cancelled);
+        assert_eq!(stats.released, 2, "cancel lands before the third release");
+    }
+
+    #[test]
+    fn empty_feed_is_a_no_op() {
+        let clock = VirtualClock::starting_at(0);
+        let stats = replay(&[], &clock, &ReplayConfig::default(), None, None, |_| {
+            panic!("nothing to deliver")
+        });
+        assert_eq!(stats, ReplayStats::default());
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod flow;
 pub mod impair;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod units;
 pub mod vol;
 
+pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use flow::{FlowKey, FlowStats, FlowTable};
 pub use impair::{Impairment, ImpairmentConfig, LossModel};
 pub use packet::{Direction, FiveTuple, Packet, Protocol};

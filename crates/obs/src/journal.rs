@@ -312,6 +312,106 @@ pub fn render_line<T: Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("journal serialization is infallible")
 }
 
+// ------------------------------------------------------------ pump
+
+/// Off-thread journal consumer: continuously drains the event ring into
+/// a shared [`Journal`] so timelines stay fresh in long-lived
+/// deployments — scrapes and queries read drained state instead of
+/// triggering a drain themselves, and producers get ring space back at a
+/// steady cadence rather than at the next scrape.
+///
+/// The pump thread wakes every `interval`, drains, and counts its work
+/// in `cgc_journal_pump_drains_total` / `cgc_journal_pump_events_total`.
+/// Dropping the pump performs one final drain, so nothing queued at
+/// shutdown is lost.
+pub struct JournalPump {
+    journal: Arc<Mutex<Journal>>,
+    stop: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JournalPump {
+    /// Spawns the consumer thread draining `journal` every `interval`,
+    /// counting drained events on `registry`.
+    pub fn start(
+        journal: Arc<Mutex<Journal>>,
+        interval: std::time::Duration,
+        registry: &Registry,
+    ) -> JournalPump {
+        let drains = registry.counter(
+            "cgc_journal_pump_drains_total",
+            "Drain passes performed by the off-thread journal consumer",
+        );
+        let events = registry.counter(
+            "cgc_journal_pump_events_total",
+            "Events moved into timelines by the off-thread journal consumer",
+        );
+        let stop = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let stop_flag = Arc::clone(&stop);
+        let pump_journal = Arc::clone(&journal);
+        let handle = std::thread::Builder::new()
+            .name("journal-pump".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop_flag;
+                let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                while !*stopped {
+                    let (guard, _) = cvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    let n = lock_journal(&pump_journal).drain();
+                    drains.inc();
+                    if n > 0 {
+                        events.add(n as u64);
+                    }
+                }
+            })
+            .expect("spawn journal pump");
+        JournalPump {
+            journal,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The journal this pump drains into.
+    pub fn journal(&self) -> Arc<Mutex<Journal>> {
+        Arc::clone(&self.journal)
+    }
+
+    /// Stops the pump thread and performs the final drain (also what
+    /// `Drop` does; call explicitly when you want the join to be visible).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+            let _ = handle.join();
+            // Final drain: anything emitted between the thread's last pass
+            // and the join lands in the timelines before shutdown returns.
+            lock_journal(&self.journal).drain();
+        }
+    }
+}
+
+impl Drop for JournalPump {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for JournalPump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalPump")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
 // ------------------------------------------------------------ global
 
 static GLOBAL: OnceLock<(EventSink, Arc<Mutex<Journal>>)> = OnceLock::new();
@@ -498,6 +598,59 @@ mod tests {
         let tl = journal.timeline(42).unwrap();
         assert_eq!(tl.platform, Some(Platform::AmazonLuna));
         assert!(journal.timeline(1).is_none());
+    }
+
+    #[test]
+    fn pump_drains_continuously_without_scrapes() {
+        let registry = Registry::new();
+        let (sink, journal) = Journal::new(JournalConfig::default(), &registry);
+        let journal = Arc::new(Mutex::new(journal));
+        let pump = JournalPump::start(
+            Arc::clone(&journal),
+            std::time::Duration::from_millis(1),
+            &registry,
+        );
+        for i in 0..50u64 {
+            sink.emit(1, i, kinds()[0]);
+        }
+        // The consumer runs off-thread: events reach the timeline without
+        // anyone calling drain() on this thread.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let n = lock_journal(&journal)
+                .timelines()
+                .first()
+                .map_or(0, |t| t.events.len());
+            if n == 50 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "pump never drained");
+            std::thread::yield_now();
+        }
+        pump.stop();
+        let snap = registry.snapshot();
+        assert!(snap.counter("cgc_journal_pump_drains_total").unwrap() > 0);
+        assert_eq!(snap.counter("cgc_journal_pump_events_total"), Some(50));
+    }
+
+    #[test]
+    fn pump_final_drain_flushes_shutdown_tail() {
+        let registry = Registry::new();
+        let (sink, journal) = Journal::new(JournalConfig::default(), &registry);
+        let journal = Arc::new(Mutex::new(journal));
+        // A pump on a long interval: nothing drains until shutdown.
+        let pump = JournalPump::start(
+            Arc::clone(&journal),
+            std::time::Duration::from_secs(3600),
+            &registry,
+        );
+        sink.emit(9, 1, kinds()[0]);
+        sink.emit(9, 2, kinds()[2]);
+        drop(pump); // final drain on drop
+        let journal = lock_journal(&journal);
+        let tl = journal.timeline(9).expect("flushed at shutdown");
+        assert_eq!(tl.events.len(), 2);
+        assert_eq!(tl.last_event(), "flow_closed");
     }
 
     #[test]

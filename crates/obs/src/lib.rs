@@ -52,7 +52,7 @@ pub mod timer;
 
 pub use event::{CloseCause, Event, EventKind, EventRing, FlowAddr};
 pub use hist::Histogram;
-pub use journal::{EventSink, FlowTimeline, Journal, JournalConfig};
+pub use journal::{EventSink, FlowTimeline, Journal, JournalConfig, JournalPump};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
 pub use serve::TelemetryServer;

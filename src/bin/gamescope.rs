@@ -7,6 +7,7 @@
 //! gamescope classify --pcap s.pcap [--bundle bundle.json]
 //! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
 //!                 [--serve 127.0.0.1:9090] [--journal fleet.jsonl]
+//! gamescope fleet --replay s.pcap|sim [--pace 1.0] [--backpressure block]
 //! ```
 //!
 //! Every subcommand accepts `--metrics <path|->`: on exit the global
@@ -17,19 +18,69 @@
 //! dumps per-flow decision timelines as JSONL on exit, `--journal-table`
 //! prints them as a human table on stderr, and `--serve <addr>` runs a
 //! live telemetry endpoint (`/metrics`, `/healthz`, `/journal`) for the
-//! duration of the command.
+//! duration of the command — with an off-thread journal pump keeping
+//! `/journal` fresh while the command runs.
+//!
+//! `fleet --replay` switches from offline batch analysis to the live
+//! ingestion path: the capture (a pcap file, or `sim` for a generated
+//! tap-fleet feed) is replayed at its recorded timestamps through bounded
+//! ingest queues into the sharded monitor. Ctrl-C anywhere triggers a
+//! graceful drain: producers quiesce, queues empty, and every open flow
+//! still gets its final session verdict.
 
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use gamescope::deploy::fleet::{run_fleet, FleetConfig};
+use gamescope::deploy::fleet::{build_tap_feed, run_fleet, FleetConfig, TapFleetConfig};
 use gamescope::deploy::report::{journal_table, metrics_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
+use gamescope::ingest::{
+    pcap_feed, replay, BackpressurePolicy, IngestConfig, IngestEngine, MonitorSink, ReplayConfig,
+};
 use gamescope::obs;
 use gamescope::pipeline::monitor::{MonitorConfig, TapMonitor};
+use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
 use gamescope::pipeline::ModelBundle;
 use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
+use gamescope::trace::clock::RealClock;
 use gamescope::trace::pcap;
+
+/// Ctrl-C handling: a process-wide flag the long-running paths poll so an
+/// interrupt triggers a graceful drain instead of an abort.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the SIGINT handler; checked by fleet workers and replay.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    /// True once Ctrl-C has been pressed.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::Relaxed)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        unsafe extern "C" fn on_sigint(_signum: i32) {
+            // Only async-signal-safe work here: one atomic store.
+            INTERRUPTED.store(true, Ordering::SeqCst);
+        }
+        // std links libc; declaring `signal` directly avoids a libc crate
+        // dependency. SIG_ERR is usize::MAX.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        let handler: unsafe extern "C" fn(i32) = on_sigint;
+        unsafe {
+            signal(SIGINT, handler as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
 
 const USAGE: &str = "\
 gamescope — cloud gaming context classification from network traffic
@@ -41,6 +92,26 @@ USAGE:
   gamescope classify --pcap <s.pcap> [--bundle <bundle.json>] [--quick]
   gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
                      [--telemetry-every <n>] [--serve <addr>]
+  gamescope fleet    --replay <s.pcap|sim> [--pace <x>] [--shards <n>]
+                     [--backpressure <block|drop-oldest|drop-newest>]
+                     [--queues <n>] [--queue-capacity <n>] [--secs <n>]
+
+FLEET REPLAY:
+  --replay <src>       drive the live ingestion path instead of offline
+                       batch analysis: 'sim' generates an interleaved
+                       tap-fleet feed, anything else is read as a pcap
+  --pace <x>           speed multiplier over the recorded timeline
+                       (1.0 = real time, 2.0 = double speed, 0 = as fast
+                       as possible; default 1.0)
+  --backpressure <p>   full-queue policy: block (lossless, default),
+                       drop-oldest (freshest wins), drop-newest
+  --queues <n>         ingest queues between producers and the router
+  --queue-capacity <n> slots per queue (power of two)
+  --shards <n>         monitor worker shards
+  --secs <n>           gameplay seconds per simulated session (sim source)
+
+Ctrl-C during fleet or replay triggers a graceful drain: in-flight work
+finishes, queues empty, and open flows get final session verdicts.
 
 OPTIONS (all subcommands):
   --metrics <path|->   dump a metrics snapshot on exit: '-' prints
@@ -235,8 +306,144 @@ fn cmd_analyze(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `fleet --replay`: drives a recorded feed through the live ingestion
+/// path — paced replay, bounded queues, router, sharded monitor — on the
+/// global registry/journal so `--metrics`, `--journal` and `--serve` see
+/// the run.
+fn cmd_fleet_replay(
+    bundle: ModelBundle,
+    source: String,
+    mut args: Vec<String>,
+) -> Result<(), String> {
+    let pace: f64 = match take_value(&mut args, "--pace")? {
+        Some(v) => parse("--pace", &v)?,
+        None => 1.0,
+    };
+    let policy = match take_value(&mut args, "--backpressure")? {
+        Some(v) => BackpressurePolicy::parse(&v)
+            .ok_or_else(|| format!("--backpressure: {v:?} is not block|drop-oldest|drop-newest"))?,
+        None => BackpressurePolicy::Block,
+    };
+    let mut ingest_cfg = IngestConfig::default();
+    if let Some(v) = take_value(&mut args, "--queues")? {
+        ingest_cfg.queues = parse("--queues", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--queue-capacity")? {
+        ingest_cfg.queue_capacity = parse("--queue-capacity", &v)?;
+    }
+    ingest_cfg.policy = policy;
+    let shards: usize = match take_value(&mut args, "--shards")? {
+        Some(v) => parse("--shards", &v)?,
+        None => 4,
+    };
+
+    let feed = if source == "sim" {
+        let mut tap_cfg = TapFleetConfig {
+            shards,
+            ..Default::default()
+        };
+        if let Some(v) = take_value(&mut args, "--sessions")? {
+            tap_cfg.n_sessions = parse("--sessions", &v)?;
+        }
+        if let Some(v) = take_value(&mut args, "--secs")? {
+            tap_cfg.gameplay_secs = parse("--secs", &v)?;
+        }
+        reject_extra(&args)?;
+        eprintln!(
+            "generating a {}-session tap-fleet feed ({}s gameplay each)...",
+            tap_cfg.n_sessions, tap_cfg.gameplay_secs
+        );
+        build_tap_feed(&tap_cfg)
+    } else {
+        reject_extra(&args)?;
+        let records = pcap::read_records(&source).map_err(|e| format!("reading {source}: {e}"))?;
+        eprintln!("read {} capture records from {source}", records.len());
+        pcap_feed(&records)
+    };
+    if feed.is_empty() {
+        return Err("replay source produced no records".into());
+    }
+    let span_secs = (feed.last().expect("non-empty").0 - feed[0].0) as f64 / 1e6;
+    eprintln!(
+        "replaying {} records spanning {span_secs:.1}s at pace {pace} \
+         ({policy} backpressure, {} queue(s) x {}, {shards} shard(s)); Ctrl-C drains gracefully",
+        feed.len(),
+        ingest_cfg.queues,
+        ingest_cfg.queue_capacity,
+    );
+
+    // Global registry + journal sink so --metrics/--journal/--serve all
+    // observe the live run.
+    let registry = obs::Registry::global();
+    let monitor = ShardedTapMonitor::new(
+        Arc::new(bundle),
+        ShardedMonitorConfig {
+            shards,
+            ..Default::default()
+        },
+    );
+    let clock: gamescope::trace::SharedClock = Arc::new(RealClock::new());
+    ingest_cfg.clock = Some(Arc::clone(&clock));
+    let engine = IngestEngine::start(MonitorSink::new(monitor), ingest_cfg, registry);
+    let producer = engine.producer();
+    let metrics = engine.metrics().clone();
+    let stats = replay(
+        &feed,
+        &*clock,
+        &ReplayConfig { pace },
+        Some(&metrics),
+        Some(&sig::INTERRUPTED),
+        |record| {
+            producer.push_record(record);
+        },
+    );
+    drop(producer);
+    if stats.cancelled {
+        eprintln!(
+            "interrupted after {} of {} records; draining queues...",
+            stats.released,
+            feed.len()
+        );
+    }
+    let run = engine.shutdown();
+    let (mut sessions, _stats) = run.output;
+    sessions.sort_by_key(|m| m.started_at);
+
+    for m in &sessions {
+        println!(
+            "t+{:>3}s {} [{}] -> title {} ({:.0}%), {:.1} Mbps, QoE {}/{}{}",
+            m.started_at / 1_000_000,
+            m.tuple,
+            m.platform,
+            m.report.title.title.map(|t| t.name()).unwrap_or("unknown"),
+            m.report.title.confidence * 100.0,
+            m.report.mean_down_mbps,
+            m.report.objective_qoe,
+            m.report.effective_qoe,
+            if m.confirmed { "" } else { " (unconfirmed)" }
+        );
+    }
+    println!(
+        "replay: {} released, {} enqueued, {} handed off, {} dropped, {} sessions{}",
+        stats.released,
+        run.enqueued,
+        run.handed_off,
+        run.dropped,
+        sessions.len(),
+        if stats.cancelled {
+            " (interrupted, drained gracefully)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
 fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
     let bundle = bundle_from(&mut args)?;
+    if let Some(source) = take_value(&mut args, "--replay")? {
+        return cmd_fleet_replay(bundle, source, args);
+    }
     let mut cfg = FleetConfig::default();
     if let Some(v) = take_value(&mut args, "--sessions")? {
         cfg.n_sessions = parse("--sessions", &v)?;
@@ -245,9 +452,36 @@ fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
         cfg.telemetry_every = parse("--telemetry-every", &v)?;
     }
     reject_extra(&args)?;
+    cfg.cancel = Some(Arc::new(std::sync::atomic::AtomicBool::new(false)));
+    if let Some(flag) = &cfg.cancel {
+        // Bridge the process-wide Ctrl-C flag into the fleet's cancel
+        // flag from a watcher thread (the fleet only polls its own flag).
+        let flag = Arc::clone(flag);
+        std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                if sig::interrupted() {
+                    flag.store(true, Ordering::Relaxed);
+                    eprintln!("interrupt: finishing in-flight sessions, skipping the rest...");
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+    }
 
     eprintln!("simulating {} sessions...", cfg.n_sessions);
     let records = run_fleet(&bundle, &cfg);
+    if let Some(flag) = &cfg.cancel {
+        // Unblock the Ctrl-C watcher thread on the normal-completion path.
+        flag.store(true, Ordering::Relaxed);
+    }
+    if records.len() < cfg.n_sessions {
+        eprintln!(
+            "interrupted: {} of {} sessions completed before the drain",
+            records.len(),
+            cfg.n_sessions
+        );
+    }
     let known: Vec<_> = records
         .iter()
         .filter(|r| r.truth_kind.known().is_some())
@@ -312,6 +546,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Ctrl-C from here on requests a graceful drain instead of killing
+    // the process mid-run.
+    sig::install();
+
     // Any flight-recorder option installs the process-wide journal before
     // the command runs, so every monitor/analyzer built from here on
     // records into it.
@@ -319,6 +557,16 @@ fn main() -> ExitCode {
         Some(obs::journal::install_global(obs::JournalConfig::default()))
     } else {
         None
+    };
+    // With a live endpoint, an off-thread pump keeps /journal fresh while
+    // the command runs instead of draining only at scrape/exit time.
+    let _pump = match (&journal, &serve_addr) {
+        (Some(journal), Some(_)) => Some(obs::JournalPump::start(
+            Arc::clone(journal),
+            std::time::Duration::from_millis(200),
+            obs::Registry::global(),
+        )),
+        _ => None,
     };
     // Held for the duration of the command: dropped (and thus shut down)
     // when `main` returns.
@@ -358,6 +606,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Stop the pump (final drain included) before snapshotting, so the
+    // metrics and journal output below see the complete event stream.
+    drop(_pump);
     let snapshot = obs::Registry::global().snapshot();
     if verbose_metrics {
         eprintln!("\n{}", metrics_table(&snapshot));

@@ -10,6 +10,7 @@
 //! * [`features`] — packet-group, launch, volumetric and transition features
 //! * [`pipeline`] — the real-time context classification pipeline
 //! * [`obs`] — metrics registry, histograms, span timers and exporters
+//! * [`ingest`] — paced replay, bounded ingest queues and graceful shutdown
 //! * [`deploy`] — training, fleet simulation and aggregate reporting
 
 #![warn(missing_docs)]
@@ -18,6 +19,7 @@ pub use cgc_core as pipeline;
 pub use cgc_deploy as deploy;
 pub use cgc_domain as domain;
 pub use cgc_features as features;
+pub use cgc_ingest as ingest;
 pub use cgc_obs as obs;
 pub use gamesim as sim;
 pub use mlcore as ml;
