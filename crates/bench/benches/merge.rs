@@ -1,0 +1,163 @@
+//! K-way merge and adaptive-batching hot paths: merge throughput at 2,
+//! 4 and 8 sources (with and without per-source clock-skew correction),
+//! and the router's burst-drain cost under each batch policy — the
+//! criterion companion to the `bench_ingest_merge` snapshot binary,
+//! which reports the percentile breakdown committed in
+//! `BENCH_ingest_merge.json`.
+
+use cgc_core::shard::TapRecord;
+use cgc_ingest::{
+    merge_sources, split_round_robin, BackpressurePolicy, BatchPolicy, BoundedQueue, MergeConfig,
+    MergeSource,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nettrace::packet::FiveTuple;
+use nettrace::shift_micros;
+
+/// Synthetic tap feed: `n` records spread over 16 flows, 10 µs apart.
+fn records(n: usize) -> Vec<TapRecord> {
+    (0..n)
+        .map(|i| {
+            let tuple = FiveTuple::udp_v4(
+                [10, 0, 0, 1],
+                49003,
+                [100, 64, 0, (i % 16) as u8],
+                50_000 + (i % 16) as u16,
+            );
+            (i as u64 * 10, tuple, 1_200u32)
+        })
+        .collect()
+}
+
+fn sources(feed: &[TapRecord], ways: usize) -> Vec<MergeSource> {
+    split_round_robin(feed, ways)
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| MergeSource::new(format!("s{i}"), part))
+        .collect()
+}
+
+fn bench_merge_throughput(c: &mut Criterion) {
+    const N: usize = 65_536;
+    let feed = records(N);
+
+    let mut g = c.benchmark_group("merge");
+    g.throughput(Throughput::Elements(N as u64));
+    for ways in [2usize, 4, 8] {
+        g.bench_function(&format!("kway_{ways}_sources_64k"), |b| {
+            b.iter(|| {
+                let (out, stats) =
+                    merge_sources(sources(&feed, ways), &MergeConfig::default(), None);
+                assert_eq!(out.len(), N);
+                assert_eq!(stats.late_total(), 0);
+                black_box(out.len())
+            })
+        });
+    }
+
+    // Same 4-way split, but each source's capture clock is skewed and
+    // its MergeSource carries the inverse correction — the offset
+    // arithmetic rides the same hot loop.
+    let skews: [i64; 4] = [0, -1_500, 2_500, 7_000];
+    g.bench_function("kway_4_sources_skewed_64k", |b| {
+        b.iter(|| {
+            let srcs: Vec<MergeSource> = split_round_robin(&feed, skews.len())
+                .into_iter()
+                .zip(skews)
+                .enumerate()
+                .map(|(i, (part, skew))| {
+                    let skewed: Vec<_> = part
+                        .into_iter()
+                        .map(|(ts, tuple, len)| (shift_micros(ts, skew), tuple, len))
+                        .collect();
+                    MergeSource::with_offset(format!("s{i}"), -skew, skewed)
+                })
+                .collect();
+            let (out, stats) = merge_sources(srcs, &MergeConfig::default(), None);
+            assert_eq!(out.len(), N);
+            assert_eq!(stats.late_total(), 0);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+/// One full burst drain through the router sweep + partitioned per-shard
+/// dispatch, single-threaded (the cost of the CPU path a dedicated-core
+/// router executes — policy differences are makespan differences here).
+fn drain_burst(
+    feed: &[TapRecord],
+    queues: &[BoundedQueue<TapRecord>],
+    dispatch: &[BoundedQueue<Vec<TapRecord>>],
+    policy: BatchPolicy,
+) -> usize {
+    for &r in feed {
+        let q = r.1.shard(queues.len());
+        queues[q].push(r, BackpressurePolicy::Block);
+    }
+    let shards = dispatch.len();
+    let mut buf: Vec<TapRecord> = Vec::with_capacity(1 << 13);
+    let mut handed = 0;
+    while handed < feed.len() {
+        for queue in queues {
+            let target = policy.size_for(queue.len());
+            buf.clear();
+            while buf.len() < target {
+                match queue.try_pop() {
+                    Some(r) => buf.push(r),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                continue;
+            }
+            let mut parts: Vec<Vec<TapRecord>> = (0..shards)
+                .map(|_| Vec::with_capacity(buf.len() / shards + 16))
+                .collect();
+            for &(ts, tuple, len) in &buf {
+                parts[tuple.shard(shards)].push((ts, tuple, len));
+            }
+            for (shard, part) in parts.into_iter().enumerate() {
+                if !part.is_empty() {
+                    dispatch[shard].push(part, BackpressurePolicy::Block);
+                }
+            }
+            handed += buf.len();
+        }
+    }
+    let mut delivered = 0;
+    for q in dispatch {
+        while let Some(part) = q.try_pop() {
+            delivered += part.len();
+        }
+    }
+    assert_eq!(delivered, feed.len());
+    handed
+}
+
+fn bench_burst_drain(c: &mut Criterion) {
+    const N: usize = 16_384;
+    let feed = records(N);
+    let queues: Vec<BoundedQueue<TapRecord>> = (0..2)
+        .map(|_| BoundedQueue::with_capacity(1 << 15))
+        .collect();
+    let dispatch: Vec<BoundedQueue<Vec<TapRecord>>> = (0..4)
+        .map(|_| BoundedQueue::with_capacity(1 << 13))
+        .collect();
+
+    let mut g = c.benchmark_group("merge");
+    g.throughput(Throughput::Elements(N as u64));
+    for (name, policy) in [
+        ("burst_drain_fixed_32_16k", BatchPolicy::Fixed(32)),
+        ("burst_drain_fixed_1024_16k", BatchPolicy::Fixed(1_024)),
+        ("burst_drain_adaptive_16k", BatchPolicy::default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(drain_burst(&feed, &queues, &dispatch, policy)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge_throughput, bench_burst_drain);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! [`SessionReport`]s emitted — exactly how an operator turns a raw packet
 //! feed into per-session context records.
 //!
-//! Idle detection runs on an [`ExpiryWheel`](crate::expiry::ExpiryWheel),
+//! Idle detection runs on an [`ExpiryWheel`],
 //! so a `finish_idle` pass touches only the flows that are actually due
 //! rather than scanning the whole table, and the flow table is bounded:
 //! past [`MonitorConfig::max_flows`] the least-recently-seen flow is

@@ -263,7 +263,7 @@ pub fn majority_level(levels: &[QoeLevel]) -> QoeLevel {
 
 /// Measures the delivered frame rate from downstream RTP marker bits
 /// (markers close encoded frames) over the packet window — the gray-box
-/// objective QoE estimation of prior work [32].
+/// objective QoE estimation of prior work \[32\].
 pub fn measure_fps(packets: &[Packet], window: Micros) -> f64 {
     if window == 0 {
         return 0.0;

@@ -234,6 +234,44 @@ impl ShardedTapMonitor {
         self.ingest(record.ts, &record.tuple, record.payload_len);
     }
 
+    /// Hands one already-drained batch to the workers in a single
+    /// dispatch per shard: the batch is partitioned by shard hash
+    /// (preserving batch order, hence per-flow order) and each non-empty
+    /// partition is sent as one channel message. Records buffered by the
+    /// record-at-a-time [`ingest`](Self::ingest) path are flushed first,
+    /// so the two paths interleave in arrival order.
+    ///
+    /// This is the live-ingestion hand-off: the ingest router's drain
+    /// batch — sized by its batch policy — becomes the unit of delivery
+    /// to the shard workers. A small batch (shallow queues) reaches the
+    /// workers immediately instead of lingering in a partially filled
+    /// `batch_size` buffer; a large batch (deep queues) amortizes the
+    /// per-dispatch partition-and-send cost across thousands of records.
+    pub fn ingest_batch(&mut self, records: &[TapRecord]) {
+        let shards = self.senders.len();
+        if shards == 1 {
+            // Degenerate single-shard front end: no partitioning needed.
+            self.flush_shard(0);
+            self.depth_gauges[0].inc();
+            let _ = self.senders[0].send(ShardMsg::Batch(records.to_vec()));
+            return;
+        }
+        let mut parts: Vec<Vec<TapRecord>> = (0..shards)
+            .map(|_| Vec::with_capacity(records.len() / shards + 16))
+            .collect();
+        for &(ts, tuple, len) in records {
+            parts[tuple.shard(shards)].push((ts, tuple, len));
+        }
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            self.flush_shard(shard);
+            self.depth_gauges[shard].inc();
+            let _ = self.senders[shard].send(ShardMsg::Batch(part));
+        }
+    }
+
     /// Overrides the QoS context of one flow on its shard. The shard's
     /// pending batch is flushed first, so the override lands between the
     /// packets sent before and after this call — same semantics as the

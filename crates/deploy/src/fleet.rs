@@ -544,6 +544,10 @@ pub struct TapReplayOptions {
     /// Queue sizing and backpressure policy (the engine clock field is
     /// overwritten with the replay clock).
     pub ingest: cgc_ingest::IngestConfig,
+    /// K-way merge tolerance and lookahead when replaying several input
+    /// feeds at once (ignored with a single source, where the merge is
+    /// a pass-through).
+    pub merge: cgc_ingest::MergeConfig,
     /// Expire idle flows every this many µs of replay-clock time; `None`
     /// (the default) finalizes everything at shutdown instead, keeping
     /// the run byte-identical to the offline batch path.
@@ -554,7 +558,7 @@ pub struct TapReplayOptions {
 }
 
 /// A [`TapFleetRun`] produced through the live ingestion path, plus the
-/// replay and queue accounting of the run.
+/// replay, merge and queue accounting of the run.
 #[derive(Debug)]
 pub struct TapReplayRun {
     /// The session reports, metrics snapshot and decision timelines —
@@ -562,6 +566,11 @@ pub struct TapReplayRun {
     pub fleet: TapFleetRun,
     /// What the pacing engine released (and whether it was cancelled).
     pub replay: cgc_ingest::ReplayStats,
+    /// Per-source merge accounting: how many records each input feed
+    /// contributed and how many arrived beyond the reordering tolerance
+    /// (still delivered). A single-feed replay shows one source with
+    /// zero late.
+    pub merge: cgc_ingest::MergeStats,
     /// Records admitted into the ingest queues.
     pub enqueued: u64,
     /// Records handed from the queues to the monitor.
@@ -587,14 +596,41 @@ pub fn run_tap_fleet_replay(
     clock: nettrace::clock::SharedClock,
     opts: TapReplayOptions,
 ) -> TapReplayRun {
+    let feed = build_tap_feed(cfg);
+    run_tap_feed_replay(
+        bundle,
+        cfg.shards,
+        vec![cgc_ingest::MergeSource::new("feed", feed)],
+        clock,
+        opts,
+    )
+}
+
+/// Replays one or more independently captured tap feeds — each with its
+/// own label and clock-skew offset — through the live ingestion path.
+///
+/// The sources are first fused by the k-way merge ([`cgc_ingest::merge`])
+/// into one globally time-ordered stream on the shared clock axis, then
+/// paced, queued and drained into the sharded monitor exactly like
+/// [`run_tap_fleet_replay`]. Per-source contribution and lateness
+/// counters (`cgc_ingest_merge_records_total{source=…}`,
+/// `cgc_ingest_merge_late_total{source=…}`) register on the run's
+/// private registry and surface in [`TapReplayRun::merge`].
+pub fn run_tap_feed_replay(
+    bundle: &std::sync::Arc<ModelBundle>,
+    shards: usize,
+    sources: Vec<cgc_ingest::MergeSource>,
+    clock: nettrace::clock::SharedClock,
+    opts: TapReplayOptions,
+) -> TapReplayRun {
     use cgc_ingest::{IngestEngine, MonitorSink};
 
-    let feed = build_tap_feed(cfg);
     let registry = cgc_obs::Registry::new();
+    let (feed, merge_stats) = cgc_ingest::merge_sources(sources, &opts.merge, Some(&registry));
     let (sink, journal) = cgc_obs::Journal::new(cgc_obs::JournalConfig::default(), &registry);
     let monitor = cgc_core::ShardedTapMonitor::with_registry_and_journal(
         std::sync::Arc::clone(bundle),
-        cgc_core::ShardedMonitorConfig::with_shards(cfg.shards),
+        cgc_core::ShardedMonitorConfig::with_shards(shards),
         &registry,
         sink,
     );
@@ -629,6 +665,7 @@ pub fn run_tap_fleet_replay(
             timelines,
         },
         replay: replay_stats,
+        merge: merge_stats,
         enqueued: run.enqueued,
         handed_off: run.handed_off,
         dropped: run.dropped,
@@ -782,6 +819,63 @@ mod tests {
                 serde_json::to_string(&b.report).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn split_feed_replay_matches_single_feed_replay() {
+        let bundle = std::sync::Arc::new(train_bundle(&TrainConfig::quick()));
+        let cfg = TapFleetConfig {
+            n_sessions: 3,
+            gameplay_secs: 10.0,
+            shards: 2,
+            ..Default::default()
+        };
+        let single = run_tap_fleet_replay(
+            &bundle,
+            &cfg,
+            nettrace::VirtualClock::new().shared(),
+            TapReplayOptions::default(),
+        );
+        assert_eq!(single.merge.labels, ["feed"]);
+        assert_eq!(single.merge.late_total(), 0, "sorted feed is never late");
+
+        let feed = build_tap_feed(&cfg);
+        let sources: Vec<cgc_ingest::MergeSource> = cgc_ingest::split_round_robin(&feed, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| cgc_ingest::MergeSource::new(format!("tap{i}"), part))
+            .collect();
+        let merged = run_tap_feed_replay(
+            &bundle,
+            cfg.shards,
+            sources,
+            nettrace::VirtualClock::new().shared(),
+            TapReplayOptions::default(),
+        );
+        assert_eq!(merged.merge.labels, ["tap0", "tap1", "tap2"]);
+        assert_eq!(merged.merge.merged_total(), feed.len() as u64);
+        assert_eq!(merged.merge.late_total(), 0);
+        assert_eq!(merged.dropped, 0);
+        assert_eq!(merged.fleet.sessions.len(), single.fleet.sessions.len());
+        for (a, b) in single.fleet.sessions.iter().zip(&merged.fleet.sessions) {
+            assert_eq!(a.tuple, b.tuple);
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+        // The per-source counters registered on the run's registry.
+        assert_eq!(
+            merged
+                .fleet
+                .snapshot
+                .counter("cgc_ingest_merge_records_total"),
+            Some(feed.len() as u64)
+        );
+        assert_eq!(
+            merged.fleet.snapshot.counter("cgc_ingest_merge_late_total"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod report;
 pub mod train;
 
 pub use fleet::{
-    build_tap_feed, run_fleet, run_tap_fleet, run_tap_fleet_replay, telemetry_reporter,
-    FleetConfig, SessionRecord, TapFleetConfig, TapFleetRun, TapReplayOptions, TapReplayRun,
+    build_tap_feed, run_fleet, run_tap_feed_replay, run_tap_fleet, run_tap_fleet_replay,
+    telemetry_reporter, FleetConfig, SessionRecord, TapFleetConfig, TapFleetRun, TapReplayOptions,
+    TapReplayRun,
 };
 pub use train::{train_bundle, TrainConfig};

@@ -14,9 +14,13 @@
 //! Records are routed to queues by the direction-invariant five-tuple
 //! hash, so both directions of a conversation traverse the same queue
 //! and a single producer's per-flow packet order survives end to end.
-//! The router pops up to `drain_batch` records per queue per sweep and
-//! hands them to the sink; queue depths, batch counts and hand-off
-//! totals are exported on every sweep.
+//! Each sweep the router sizes a per-queue drain batch from its
+//! [`BatchPolicy`] — under the default adaptive policy the observed
+//! queue depth picks the size, so shallow queues hand records off with
+//! minimal latency while deep queues amortize per-batch sink overhead —
+//! and hands it to the sink. Queue depths, batch counts, the chosen
+//! batch sizes (`cgc_ingest_batch_size`) and hand-off totals are
+//! exported on every sweep.
 //!
 //! Shutdown is graceful by construction: [`IngestEngine::shutdown`]
 //! stops admission (late pushes are rejected *and counted*), waits for
@@ -109,9 +113,9 @@ impl BatchSink for MonitorSink {
     type Output = (Vec<MonitoredSession>, MonitorStats);
 
     fn on_batch(&mut self, records: &[TapRecord]) {
-        for &(ts, tuple, len) in records {
-            self.monitor.ingest(ts, &tuple, len);
-        }
+        // One partitioned dispatch per router batch: the batch policy's
+        // size choice becomes the unit of delivery to the shard workers.
+        self.monitor.ingest_batch(records);
     }
 
     fn on_tick(&mut self, now: Micros) {
@@ -130,6 +134,75 @@ impl BatchSink for MonitorSink {
     }
 }
 
+/// How the router sizes each per-queue drain batch.
+///
+/// Batch size trades hand-off latency against per-batch sink overhead:
+/// a small batch reaches the sink as soon as it is popped, a large one
+/// amortizes the sink's fixed per-call cost across more records. The
+/// adaptive policy resolves the trade at runtime from the observed
+/// queue depth — a shallow queue means arrivals are trickling in and
+/// latency dominates, a deep queue means the router is behind and
+/// throughput dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Pop up to this many records per queue per sweep regardless of
+    /// depth (≥ 1) — the pre-adaptive behaviour, kept for benchmarks
+    /// and for pinning batch size in tests.
+    Fixed(usize),
+    /// Size each batch to the queue's observed depth, clamped into
+    /// `[min, max]`: depth-many records when `min ≤ depth ≤ max`, so a
+    /// near-empty queue hands off immediately and a backlogged queue
+    /// drains in `max`-record gulps.
+    Adaptive {
+        /// Smallest batch worth a sink call (≥ 1).
+        min: usize,
+        /// Largest batch popped in one gulp; bounds sink call latency
+        /// and the router's reusable buffer (≥ `min`).
+        max: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Records to pop from a queue currently holding `depth` records.
+    ///
+    /// ```
+    /// use cgc_ingest::BatchPolicy;
+    /// let adaptive = BatchPolicy::default(); // Adaptive { min: 32, max: 8192 }
+    /// assert_eq!(adaptive.size_for(4), 32); // shallow queue: min-size hand-off
+    /// assert_eq!(adaptive.size_for(500), 500); // mid-range tracks depth
+    /// assert_eq!(adaptive.size_for(100_000), 8_192); // backlog: max-size gulps
+    /// ```
+    pub fn size_for(&self, depth: usize) -> usize {
+        match *self {
+            BatchPolicy::Fixed(n) => n.max(1),
+            BatchPolicy::Adaptive { min, max } => {
+                let min = min.max(1);
+                depth.clamp(min, max.max(min))
+            }
+        }
+    }
+
+    /// Largest batch this policy can ever request (buffer sizing).
+    fn max_size(&self) -> usize {
+        match *self {
+            BatchPolicy::Fixed(n) => n.max(1),
+            BatchPolicy::Adaptive { min, max } => max.max(min).max(1),
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    /// Adaptive over `32..=8192`: single-record hand-offs are still
+    /// cheap enough at trickle rates, and 8192 records per sink call is
+    /// past the point of diminishing amortization returns.
+    fn default() -> Self {
+        BatchPolicy::Adaptive {
+            min: 32,
+            max: 8_192,
+        }
+    }
+}
+
 /// Engine sizing and policy.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -139,8 +212,8 @@ pub struct IngestConfig {
     pub queue_capacity: usize,
     /// What producers do when their queue is full.
     pub policy: BackpressurePolicy,
-    /// Max records the router pops from one queue per sweep (≥ 1).
-    pub drain_batch: usize,
+    /// How the router sizes each per-queue drain batch.
+    pub batch: BatchPolicy,
     /// Clock driving [`BatchSink::on_tick`]; `None` disables ticks.
     pub clock: Option<SharedClock>,
 }
@@ -151,7 +224,7 @@ impl Default for IngestConfig {
             queues: 2,
             queue_capacity: 65_536,
             policy: BackpressurePolicy::Block,
-            drain_batch: 1_024,
+            batch: BatchPolicy::default(),
             clock: None,
         }
     }
@@ -253,6 +326,35 @@ pub struct IngestRun<T> {
 /// A running ingestion engine: queues plus the router thread feeding
 /// sink `S`. Create with [`IngestEngine::start`], feed through handles
 /// from [`IngestEngine::producer`], end with [`IngestEngine::shutdown`].
+///
+/// ```
+/// use cgc_ingest::{BatchSink, IngestConfig, IngestEngine};
+/// use cgc_obs::Registry;
+/// use nettrace::packet::FiveTuple;
+///
+/// struct CountSink(u64);
+/// impl BatchSink for CountSink {
+///     type Output = u64;
+///     fn on_batch(&mut self, batch: &[cgc_core::shard::TapRecord]) {
+///         self.0 += batch.len() as u64;
+///     }
+///     fn finish(self) -> u64 {
+///         self.0
+///     }
+/// }
+///
+/// let registry = Registry::new();
+/// let engine = IngestEngine::start(CountSink(0), IngestConfig::default(), &registry);
+/// let producer = engine.producer();
+/// let tuple = FiveTuple::udp_v4([10, 0, 0, 1], 49003, [100, 64, 0, 1], 50_000);
+/// for i in 0..1_000u64 {
+///     assert!(producer.push(i * 10, &tuple, 1_200));
+/// }
+/// drop(producer); // the router drains until the last producer is gone
+/// let run = engine.shutdown();
+/// assert_eq!(run.output, 1_000);
+/// assert_eq!(run.dropped, 0, "block policy loses nothing");
+/// ```
 pub struct IngestEngine<S: BatchSink> {
     shared: Arc<EngineShared>,
     router: Option<JoinHandle<S::Output>>,
@@ -274,11 +376,11 @@ impl<S: BatchSink> IngestEngine<S> {
             accepting: AtomicBool::new(true),
         });
         let router_shared = Arc::clone(&shared);
-        let drain_batch = config.drain_batch.max(1);
+        let batch = config.batch;
         let clock = config.clock.clone();
         let router = std::thread::Builder::new()
             .name("ingest-router".into())
-            .spawn(move || router_loop(router_shared, sink, drain_batch, clock))
+            .spawn(move || router_loop(router_shared, sink, batch, clock))
             .expect("spawn ingest router");
         IngestEngine {
             shared,
@@ -356,16 +458,19 @@ impl<S: BatchSink> std::fmt::Debug for IngestEngine<S> {
 fn router_loop<S: BatchSink>(
     shared: Arc<EngineShared>,
     mut sink: S,
-    drain_batch: usize,
+    batch: BatchPolicy,
     clock: Option<SharedClock>,
 ) -> S::Output {
-    let mut buf: Vec<TapRecord> = Vec::with_capacity(drain_batch);
+    let mut buf: Vec<TapRecord> = Vec::with_capacity(batch.max_size().min(65_536));
     let mut empty_sweeps = 0u32;
     loop {
         let mut handed = 0u64;
         for (i, queue) in shared.queues.iter().enumerate() {
+            // Depth is sampled once per sweep; racing producers only make
+            // the batch smaller or larger than ideal, never incorrect.
+            let target = batch.size_for(queue.len());
             buf.clear();
-            while buf.len() < drain_batch {
+            while buf.len() < target {
                 match queue.try_pop() {
                     Some(record) => buf.push(record),
                     None => break,
@@ -373,6 +478,7 @@ fn router_loop<S: BatchSink>(
             }
             shared.metrics.queue_depth[i].set(queue.len() as i64);
             if !buf.is_empty() {
+                shared.metrics.batch_size.record(buf.len() as u64);
                 sink.on_batch(&buf);
                 handed += buf.len() as u64;
             }
@@ -536,6 +642,78 @@ mod tests {
         assert_eq!(run.enqueued, 1);
         assert_eq!(run.rejected_closed, 2);
         assert_eq!(run.output.len(), 1);
+    }
+
+    #[test]
+    fn batch_policy_sizes_by_depth() {
+        let fixed = BatchPolicy::Fixed(256);
+        assert_eq!(fixed.size_for(0), 256);
+        assert_eq!(fixed.size_for(1_000_000), 256);
+        assert_eq!(BatchPolicy::Fixed(0).size_for(10), 1, "floored at 1");
+
+        let adaptive = BatchPolicy::Adaptive { min: 32, max: 8192 };
+        assert_eq!(adaptive.size_for(0), 32, "shallow clamps to min");
+        assert_eq!(adaptive.size_for(500), 500, "mid-range tracks depth");
+        assert_eq!(adaptive.size_for(100_000), 8192, "deep clamps to max");
+
+        let degenerate = BatchPolicy::Adaptive { min: 64, max: 8 };
+        assert_eq!(degenerate.size_for(1_000), 64, "max lifted to min");
+    }
+
+    #[test]
+    fn batch_size_histogram_tracks_the_policy_cap() {
+        let registry = Registry::new();
+        let engine = IngestEngine::start(
+            VecSink(Vec::new()),
+            IngestConfig {
+                queues: 1,
+                batch: BatchPolicy::Fixed(4),
+                ..Default::default()
+            },
+            &registry,
+        );
+        let producer = engine.producer();
+        for i in 0..1_000u64 {
+            assert!(producer.push(i, &tuple(1), 1200));
+        }
+        drop(producer);
+        let run = engine.shutdown();
+        assert_eq!(run.handed_off, 1_000);
+        let snap = registry.snapshot();
+        let hist = snap.histogram("cgc_ingest_batch_size").unwrap();
+        assert!(hist.count > 0, "non-empty batches must be observed");
+        assert_eq!(hist.sum, 1_000, "histogram sums to records handed off");
+        assert!(
+            hist.max <= 4,
+            "no batch may exceed Fixed(4), saw {}",
+            hist.max
+        );
+    }
+
+    #[test]
+    fn adaptive_batching_drains_losslessly_and_respects_max() {
+        let registry = Registry::new();
+        let engine = IngestEngine::start(
+            VecSink(Vec::new()),
+            IngestConfig {
+                queues: 1,
+                batch: BatchPolicy::Adaptive { min: 8, max: 64 },
+                ..Default::default()
+            },
+            &registry,
+        );
+        let producer = engine.producer();
+        for i in 0..10_000u64 {
+            assert!(producer.push(i, &tuple(1), 1200));
+        }
+        drop(producer);
+        let run = engine.shutdown();
+        assert_eq!(run.handed_off, 10_000);
+        assert_eq!(run.dropped, 0);
+        let snap = registry.snapshot();
+        let hist = snap.histogram("cgc_ingest_batch_size").unwrap();
+        assert_eq!(hist.sum, 10_000);
+        assert!(hist.max <= 64, "adaptive max bounds every batch");
     }
 
     #[test]

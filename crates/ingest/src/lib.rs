@@ -3,7 +3,7 @@
 //! The offline pipeline analyzes a finished capture in one pass. This
 //! crate turns the same pipeline into a long-lived streaming deployment:
 //!
-//! * **Paced replay** ([`replay`]): releases a recorded feed (pcap file
+//! * **Paced replay** ([`replay()`]): releases a recorded feed (pcap file
 //!   or gamesim session) at its recorded timestamps against a
 //!   [`Clock`](nettrace::Clock) — real time at a tap, an instantly
 //!   advancing virtual clock in tests — with a speed multiplier
@@ -15,14 +15,21 @@
 //!   (`cgc_ingest_queue_depth{shard=…}`,
 //!   `cgc_ingest_dropped_total{policy=…}`).
 //! * **The engine** ([`engine`]): a router thread draining the queues in
-//!   batches into a [`BatchSink`] — [`MonitorSink`] feeds the sharded
-//!   tap monitor — plus graceful shutdown that quiesces producers,
-//!   drains the queues dry and emits final session verdicts.
+//!   adaptively sized batches (see [`BatchPolicy`]) into a [`BatchSink`]
+//!   — [`MonitorSink`] feeds the sharded tap monitor — plus graceful
+//!   shutdown that quiesces producers, drains the queues dry and emits
+//!   final session verdicts.
+//! * **K-way merge** ([`merge`]): fuses N independently captured,
+//!   independently clocked feeds (multiple NICs, pcaps or simulated
+//!   taps) into one globally time-ordered stream, with per-source clock
+//!   skew correction, bounded reordering tolerance, and per-source
+//!   `cgc_ingest_merge_late_total{source=…}` lateness counters.
 //!
 //! The key invariant, proven end to end by the workspace's
-//! `e2e_ingest` test: a virtually-clocked paced replay produces
-//! byte-identical session reports and journal timelines to offline batch
-//! analysis of the same feed.
+//! `e2e_ingest` and `e2e_merge` tests: a virtually-clocked paced replay
+//! — whether of one feed or of an M-way split merged back together —
+//! produces byte-identical session reports and journal timelines to
+//! offline batch analysis of the same feed.
 //!
 //! ```
 //! use cgc_ingest::{BackpressurePolicy, BatchSink, IngestConfig, IngestEngine};
@@ -55,11 +62,17 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod merge;
 pub mod metrics;
 pub mod queue;
 pub mod replay;
 
-pub use engine::{BatchSink, IngestConfig, IngestEngine, IngestProducer, IngestRun, MonitorSink};
-pub use metrics::IngestMetrics;
+pub use engine::{
+    BatchPolicy, BatchSink, IngestConfig, IngestEngine, IngestProducer, IngestRun, MonitorSink,
+};
+pub use merge::{
+    merge_sources, split_round_robin, KWayMerge, MergeConfig, MergeSource, MergeStats,
+};
+pub use metrics::{IngestMetrics, MergeMetrics};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use replay::{pcap_feed, replay, ReplayConfig, ReplayStats};

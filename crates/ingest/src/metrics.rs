@@ -30,6 +30,10 @@ pub struct IngestMetrics {
     pub queue_depth: Vec<Arc<Gauge>>,
     /// Router sweeps that handed at least one record to the monitor.
     pub batches: Arc<Counter>,
+    /// Size of each non-empty batch the router handed to the sink — under
+    /// adaptive batching this is the distribution the policy actually
+    /// chose (small at shallow depth, large at deep).
+    pub batch_size: Arc<Histogram>,
     /// Records handed from the queues to the sharded monitor.
     pub handed_off: Arc<Counter>,
     /// Replayed records released by the pacing engine.
@@ -79,6 +83,10 @@ impl IngestMetrics {
                 "cgc_ingest_batches_total",
                 "Router sweeps that handed records to the monitor",
             ),
+            batch_size: registry.histogram(
+                "cgc_ingest_batch_size",
+                "Records per non-empty batch handed from a queue to the sink",
+            ),
             handed_off: registry.counter(
                 "cgc_ingest_handed_off_total",
                 "Tap records handed from ingest queues to the sharded monitor",
@@ -109,6 +117,51 @@ impl IngestMetrics {
     /// Total records lost to backpressure so far, across policies.
     pub fn dropped_total(&self) -> u64 {
         self.dropped_oldest.get() + self.dropped_newest.get()
+    }
+}
+
+/// Per-source counter handles for the k-way merge, labeled by source
+/// name (`source="eth0"`, `source="lab.pcap"`, …).
+///
+/// Both vectors are indexed by source position in the merge, matching
+/// [`crate::merge::MergeStats`]. A non-zero late counter is the merge's
+/// signal that a source's disorder exceeded the configured tolerance —
+/// those records were still delivered, but global output order around
+/// them is no longer certified.
+#[derive(Debug, Clone)]
+pub struct MergeMetrics {
+    /// Records each source contributed to the merged stream.
+    pub merged: Vec<Arc<Counter>>,
+    /// Records that arrived later than the source frontier minus the
+    /// reordering tolerance (delivered anyway, counted here).
+    pub late: Vec<Arc<Counter>>,
+}
+
+impl MergeMetrics {
+    /// Registers (or re-attaches to) the merge counter families on
+    /// `registry`, one labeled series per source label.
+    pub fn register(registry: &Registry, labels: &[String]) -> Self {
+        let merged = labels
+            .iter()
+            .map(|label| {
+                registry.counter_with(
+                    "cgc_ingest_merge_records_total",
+                    "Records contributed to the merged stream, per source",
+                    &[("source", label)],
+                )
+            })
+            .collect();
+        let late = labels
+            .iter()
+            .map(|label| {
+                registry.counter_with(
+                    "cgc_ingest_merge_late_total",
+                    "Records arriving beyond the merge reordering tolerance, per source",
+                    &[("source", label)],
+                )
+            })
+            .collect();
+        MergeMetrics { merged, late }
     }
 }
 
@@ -144,6 +197,29 @@ mod tests {
             "{text}"
         );
         assert_eq!(m.dropped_total(), 3);
+    }
+
+    #[test]
+    fn merge_families_render_per_source() {
+        let registry = Registry::new();
+        let labels = vec!["eth0".to_string(), "eth1".to_string()];
+        let m = MergeMetrics::register(&registry, &labels);
+        m.merged[0].add(7);
+        m.merged[1].add(3);
+        m.late[1].inc();
+        let text = export::prometheus(&registry.snapshot());
+        assert!(
+            text.contains("cgc_ingest_merge_records_total{source=\"eth0\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cgc_ingest_merge_records_total{source=\"eth1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cgc_ingest_merge_late_total{source=\"eth1\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -91,6 +91,19 @@ impl PushOutcome {
 }
 
 /// A bounded lock-free MPMC queue with policy-driven overflow handling.
+///
+/// ```
+/// use cgc_ingest::{BackpressurePolicy, BoundedQueue};
+///
+/// let q: BoundedQueue<u64> = BoundedQueue::with_capacity(4);
+/// for i in 0..4 {
+///     assert!(q.push(i, BackpressurePolicy::DropOldest).accepted());
+/// }
+/// // Full ring + drop-oldest: the eviction is reported, never silent.
+/// let outcome = q.push(4, BackpressurePolicy::DropOldest);
+/// assert_eq!(outcome.dropped(), 1);
+/// assert_eq!(q.try_pop(), Some(1), "record 0 was the one evicted");
+/// ```
 pub struct BoundedQueue<T> {
     ring: EventRing<T>,
 }

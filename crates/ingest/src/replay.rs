@@ -18,6 +18,12 @@
 //! Against a [`VirtualClock`](nettrace::VirtualClock) the same code path
 //! is deterministic and instant: `sleep_until` jumps the clock to the
 //! deadline, so tests exercise the full pacing logic without wall time.
+//!
+//! Multi-source captures (several NICs, several pcaps) are fused into
+//! the single sorted feed this module expects by the k-way merge in
+//! [`crate::merge`]; a record the merge flagged late (beyond the
+//! reordering tolerance) simply has a past deadline here and is
+//! released immediately rather than re-sorted or dropped.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -1,4 +1,4 @@
-//! Permutation importance (Breiman 2001, [10] in the paper).
+//! Permutation importance (Breiman 2001, \[10\] in the paper).
 //!
 //! The importance of a feature is the drop in model accuracy when that
 //! feature's values are shuffled across the evaluation set, averaged over

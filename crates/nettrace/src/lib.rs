@@ -39,7 +39,9 @@ pub mod stats;
 pub mod units;
 pub mod vol;
 
-pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use clock::{
+    shift_micros, Clock, OffsetClock, RealClock, SharedClock, SkewMicros, VirtualClock,
+};
 pub use flow::{FlowKey, FlowStats, FlowTable};
 pub use impair::{Impairment, ImpairmentConfig, LossModel};
 pub use packet::{Direction, FiveTuple, Packet, Protocol};

@@ -155,7 +155,7 @@ impl FiveTuple {
         self.shard_hash()
     }
 
-    /// The flow's endpoints as a journal [`FlowAddr`] (this tuple is taken
+    /// The flow's endpoints as a journal `FlowAddr` (this tuple is taken
     /// to already be in downstream orientation, `src` = server).
     pub fn flow_addr(&self) -> cgc_obs::event::FlowAddr {
         cgc_obs::event::FlowAddr {

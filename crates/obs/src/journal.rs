@@ -153,6 +153,24 @@ impl Serialize for FlowTimeline {
 }
 
 /// Consumer side of the flight recorder: owns the drained state.
+///
+/// ```
+/// use cgc_obs::event::EventKind;
+/// use cgc_obs::journal::{Journal, JournalConfig};
+/// use cgc_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let (sink, mut journal) = Journal::new(JournalConfig::default(), &registry);
+///
+/// // Producers emit from any thread; the sink never blocks.
+/// sink.emit(7, 1_000, EventKind::RtpInvalid { payload_len: 480 });
+/// sink.emit(7, 2_000, EventKind::RtpInvalid { payload_len: 512 });
+///
+/// assert_eq!(journal.drain(), 2);
+/// let timeline = journal.timeline(7).expect("flow 7 recorded");
+/// assert_eq!(timeline.events.len(), 2);
+/// assert_eq!(timeline.events[0].ts, 1_000, "per-flow order preserved");
+/// ```
 pub struct Journal {
     shared: Arc<SinkShared>,
     config: JournalConfig,

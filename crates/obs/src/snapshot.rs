@@ -159,6 +159,17 @@ impl Snapshot {
         found.then_some(total)
     }
 
+    /// Value of the counter series with this exact name and label set.
+    /// `None` if absent or not a counter — unlike [`Snapshot::counter`],
+    /// which sums every series of the name, this reads one labeled
+    /// series (e.g. `cgc_ingest_merge_late_total{source="eth1"}`).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get_with(name, labels)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Sum of all gauge series with this name.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         let mut found = false;

@@ -8,6 +8,7 @@
 //! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
 //!                 [--serve 127.0.0.1:9090] [--journal fleet.jsonl]
 //! gamescope fleet --replay s.pcap|sim [--pace 1.0] [--backpressure block]
+//! gamescope fleet --replay merge --input a.pcap --input b.pcap@-1500
 //! ```
 //!
 //! Every subcommand accepts `--metrics <path|->`: on exit the global
@@ -22,11 +23,13 @@
 //! `/journal` fresh while the command runs.
 //!
 //! `fleet --replay` switches from offline batch analysis to the live
-//! ingestion path: the capture (a pcap file, or `sim` for a generated
-//! tap-fleet feed) is replayed at its recorded timestamps through bounded
-//! ingest queues into the sharded monitor. Ctrl-C anywhere triggers a
-//! graceful drain: producers quiesce, queues empty, and every open flow
-//! still gets its final session verdict.
+//! ingestion path: the capture (a pcap file, `sim` for a generated
+//! tap-fleet feed, or `merge` for several pcaps fused by the k-way
+//! merge, each `--input` optionally carrying a `@<signed µs>` clock-skew
+//! offset) is replayed at its recorded timestamps through bounded ingest
+//! queues into the sharded monitor. Ctrl-C anywhere triggers a graceful
+//! drain: producers quiesce, queues empty, and every open flow still
+//! gets its final session verdict.
 
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -37,7 +40,8 @@ use gamescope::deploy::report::{journal_table, metrics_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
 use gamescope::ingest::{
-    pcap_feed, replay, BackpressurePolicy, IngestConfig, IngestEngine, MonitorSink, ReplayConfig,
+    merge_sources, pcap_feed, replay, split_round_robin, BackpressurePolicy, IngestConfig,
+    IngestEngine, MergeConfig, MergeSource, MonitorSink, ReplayConfig,
 };
 use gamescope::obs;
 use gamescope::pipeline::monitor::{MonitorConfig, TapMonitor};
@@ -92,14 +96,29 @@ USAGE:
   gamescope classify --pcap <s.pcap> [--bundle <bundle.json>] [--quick]
   gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
                      [--telemetry-every <n>] [--serve <addr>]
-  gamescope fleet    --replay <s.pcap|sim> [--pace <x>] [--shards <n>]
+  gamescope fleet    --replay <s.pcap|sim|merge> [--pace <x>] [--shards <n>]
                      [--backpressure <block|drop-oldest|drop-newest>]
                      [--queues <n>] [--queue-capacity <n>] [--secs <n>]
+                     [--input <pcap[@offset_us]>]... [--tolerance <us>]
+                     [--split <m>]
 
 FLEET REPLAY:
   --replay <src>       drive the live ingestion path instead of offline
                        batch analysis: 'sim' generates an interleaved
-                       tap-fleet feed, anything else is read as a pcap
+                       tap-fleet feed, 'merge' fuses several --input
+                       pcaps with the k-way merge, anything else is read
+                       as a single pcap
+  --input <p[@off]>    (merge source, repeatable) a pcap to fuse; the
+                       optional @<signed µs> clock-skew offset shifts its
+                       timestamps onto the shared axis, e.g.
+                       --input b.pcap@-1500 for a clock 1.5 ms ahead
+  --tolerance <us>     merge reordering tolerance in µs (default 1000);
+                       records arriving later than this against their
+                       source's frontier are still delivered but counted
+                       in cgc_ingest_merge_late_total{source=...}
+  --split <m>          (sim source) split the generated feed round-robin
+                       into m simulated taps and fuse them back with the
+                       merge — demonstrates split+merge identity
   --pace <x>           speed multiplier over the recorded timeline
                        (1.0 = real time, 2.0 = double speed, 0 = as fast
                        as possible; default 1.0)
@@ -152,6 +171,19 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
 
 fn parse<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("{name}: cannot parse {v:?}"))
+}
+
+/// Splits a merge `--input` spec `path[@signed_offset_us]`: the signed
+/// integer after the last `@` is the capture's clock-skew correction in
+/// µs. A spec whose tail is not an integer is a plain path (so paths
+/// containing `@` still work without an offset).
+fn parse_input_spec(spec: &str) -> (String, i64) {
+    if let Some((path, off)) = spec.rsplit_once('@') {
+        if let Ok(offset) = off.parse::<i64>() {
+            return (path.to_string(), offset);
+        }
+    }
+    (spec.to_string(), 0)
 }
 
 /// Case/punctuation-insensitive catalog lookup: `cs_go`, `CS:GO` and
@@ -336,8 +368,32 @@ fn cmd_fleet_replay(
         Some(v) => parse("--shards", &v)?,
         None => 4,
     };
+    let mut merge_cfg = MergeConfig::default();
+    if let Some(v) = take_value(&mut args, "--tolerance")? {
+        merge_cfg.tolerance_us = parse("--tolerance", &v)?;
+    }
 
-    let feed = if source == "sim" {
+    // Global registry + journal sink so --metrics/--journal/--serve all
+    // observe the live run, merge counters included.
+    let registry = obs::Registry::global();
+
+    let sources: Vec<MergeSource> = if source == "merge" {
+        let mut sources = Vec::new();
+        while let Some(spec) = take_value(&mut args, "--input")? {
+            let (path, offset) = parse_input_spec(&spec);
+            let records = pcap::read_records(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            eprintln!(
+                "read {} capture records from {path} (offset {offset:+} µs)",
+                records.len()
+            );
+            sources.push(MergeSource::with_offset(path, offset, pcap_feed(&records)));
+        }
+        reject_extra(&args)?;
+        if sources.is_empty() {
+            return Err("--replay merge requires at least one --input <pcap[@offset_us]>".into());
+        }
+        sources
+    } else if source == "sim" {
         let mut tap_cfg = TapFleetConfig {
             shards,
             ..Default::default()
@@ -348,33 +404,54 @@ fn cmd_fleet_replay(
         if let Some(v) = take_value(&mut args, "--secs")? {
             tap_cfg.gameplay_secs = parse("--secs", &v)?;
         }
+        let split: usize = match take_value(&mut args, "--split")? {
+            Some(v) => parse("--split", &v)?,
+            None => 1,
+        };
         reject_extra(&args)?;
         eprintln!(
             "generating a {}-session tap-fleet feed ({}s gameplay each)...",
             tap_cfg.n_sessions, tap_cfg.gameplay_secs
         );
-        build_tap_feed(&tap_cfg)
+        let feed = build_tap_feed(&tap_cfg);
+        if split > 1 {
+            eprintln!("splitting the feed across {split} simulated taps...");
+            split_round_robin(&feed, split)
+                .into_iter()
+                .enumerate()
+                .map(|(i, part)| MergeSource::new(format!("tap{i}"), part))
+                .collect()
+        } else {
+            vec![MergeSource::new("sim", feed)]
+        }
     } else {
         reject_extra(&args)?;
         let records = pcap::read_records(&source).map_err(|e| format!("reading {source}: {e}"))?;
         eprintln!("read {} capture records from {source}", records.len());
-        pcap_feed(&records)
+        vec![MergeSource::new(source.clone(), pcap_feed(&records))]
     };
+
+    let n_sources = sources.len();
+    let (feed, merge_stats) = merge_sources(sources, &merge_cfg, Some(registry));
     if feed.is_empty() {
         return Err("replay source produced no records".into());
     }
     let span_secs = (feed.last().expect("non-empty").0 - feed[0].0) as f64 / 1e6;
     eprintln!(
-        "replaying {} records spanning {span_secs:.1}s at pace {pace} \
+        "replaying {} records from {n_sources} source(s) spanning {span_secs:.1}s at pace {pace} \
          ({policy} backpressure, {} queue(s) x {}, {shards} shard(s)); Ctrl-C drains gracefully",
         feed.len(),
         ingest_cfg.queues,
         ingest_cfg.queue_capacity,
     );
-
-    // Global registry + journal sink so --metrics/--journal/--serve all
-    // observe the live run.
-    let registry = obs::Registry::global();
+    if n_sources > 1 || merge_stats.late_total() > 0 {
+        for (i, label) in merge_stats.labels.iter().enumerate() {
+            eprintln!(
+                "merge: {label}: {} record(s), {} late beyond {} µs tolerance",
+                merge_stats.merged[i], merge_stats.late[i], merge_cfg.tolerance_us
+            );
+        }
+    }
     let monitor = ShardedTapMonitor::new(
         Arc::new(bundle),
         ShardedMonitorConfig {
@@ -424,7 +501,10 @@ fn cmd_fleet_replay(
         );
     }
     println!(
-        "replay: {} released, {} enqueued, {} handed off, {} dropped, {} sessions{}",
+        "replay: {} merged ({} late), {} released, {} enqueued, {} handed off, \
+         {} dropped, {} sessions{}",
+        merge_stats.merged_total(),
+        merge_stats.late_total(),
         stats.released,
         run.enqueued,
         run.handed_off,
