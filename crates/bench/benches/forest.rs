@@ -1,0 +1,72 @@
+//! Flat vs pointer forest inference: the criterion view of the paths
+//! snapshotted by `bench_forest` / gated by `bench_gate`. Single-row
+//! latency for both layouts plus the flat whole-slot batch path, on the
+//! same stage-scale forest.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlcore::forest::{RandomForest, RandomForestConfig};
+use mlcore::{argmax, Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 4;
+const N_CLASSES: usize = 4;
+const BATCH: usize = 512;
+
+/// Stage-shaped blobs: one cluster per activity class.
+fn stage_like_dataset(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..rows {
+        let class = i % N_CLASSES;
+        x.push(
+            (0..N_FEATURES)
+                .map(|f| (class * N_FEATURES + f) as f64 * 3.0 + rng.gen_range(-2.0..2.0))
+                .collect(),
+        );
+        y.push(class);
+    }
+    Dataset::new(x, y)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let forest = RandomForest::fit(
+        &stage_like_dataset(1_200, 17),
+        &RandomForestConfig {
+            n_trees: 60,
+            max_depth: 10,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let flat = forest.to_flat();
+    let nc = flat.n_classes();
+    let mut rng = StdRng::seed_from_u64(23);
+    let rows: Vec<Vec<f64>> = (0..BATCH)
+        .map(|_| (0..N_FEATURES).map(|_| rng.gen_range(-5.0..50.0)).collect())
+        .collect();
+    let probe = rows[0].clone();
+
+    let mut g = c.benchmark_group("forest_inference");
+    g.bench_function("pointer_single", |b| b.iter(|| forest.predict(&probe)));
+    g.bench_function("flat_single", |b| {
+        let mut buf = vec![0.0f64; nc];
+        b.iter(|| {
+            flat.predict_proba_into(&probe, &mut buf);
+            argmax(&buf)
+        })
+    });
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("flat_batch_512", |b| {
+        let mut out = vec![0.0f64; BATCH * nc];
+        b.iter(|| {
+            flat.predict_proba_batch_into(&rows, &mut out);
+            out.chunks_exact(nc).map(argmax).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

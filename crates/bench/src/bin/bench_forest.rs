@@ -1,0 +1,57 @@
+//! Forest-inference benchmark snapshot — the regenerator for
+//! `BENCH_forest.json`.
+//!
+//! Trains one stage-classifier-scale random forest and measures the
+//! per-prediction latency of the inference paths over the same probe set
+//! (see [`cgc_bench::forestperf`]):
+//!
+//! - `pointer_single`: the pre-flat hot path — `RandomForest::predict`,
+//!   which clones each tree's leaf probability vector and allocates an
+//!   accumulator per call;
+//! - `flat_single`: `FlatForest::predict_proba_into` + `argmax` with a
+//!   caller-owned buffer (no allocation, lockstep branchless walk);
+//! - `flat_batch`: `FlatForest::predict_proba_batch_into` over a whole
+//!   slot's rows at once (row groups descend each tree in lockstep).
+//!
+//! It also replays the serial `TapMonitor` feed from `benches/monitor.rs`
+//! to record end-to-end monitor throughput with flat inference threaded
+//! through slot classification.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin bench_forest
+//! ```
+//!
+//! Writes `BENCH_forest.json` at the repo root (first CLI arg overrides
+//! the path). `bench_gate` compares a fresh measurement against the
+//! committed snapshot and fails CI on regression.
+
+use cgc_bench::forestperf::{measure_inference, measure_monitor, ForestSnapshot};
+
+/// Best-of reps per measurement; keeps the snapshot stable on noisy boxes.
+const REPS: usize = 11;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_forest.json".to_string());
+
+    eprintln!("measuring inference paths (best of {REPS})...");
+    let inference = measure_inference(REPS);
+    eprintln!(
+        "  pointer {:.0} ns | flat {:.0} ns ({:.2}x) | flat batch {:.0} ns/row ({:.2}x)",
+        inference.pointer_single_ns,
+        inference.flat_single_ns,
+        inference.speedup_flat_single,
+        inference.flat_batch_ns_per_row,
+        inference.speedup_flat_batch,
+    );
+
+    eprintln!("measuring serial monitor throughput...");
+    let monitor = measure_monitor(3);
+    eprintln!("  {:.0} records/s", monitor.records_per_sec);
+
+    let snapshot = ForestSnapshot { inference, monitor };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write(&out_path, json + "\n").expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,203 @@
+//! CI perf-regression gate.
+//!
+//! Re-measures the hot paths covered by the committed benchmark
+//! snapshots and fails (exit 1) when a fresh measurement regresses more
+//! than the tolerance against the committed numbers:
+//!
+//! * **`BENCH_forest.json`** — the flat-vs-pointer inference speedups
+//!   (`speedup_flat_single`, `speedup_flat_batch`). Speedups are
+//!   self-normalized (both layouts measured in the same process on the
+//!   same machine), so they gate cleanly across machines of different
+//!   absolute speed. The committed snapshot must also keep clearing the
+//!   5× per-slot acceptance floor.
+//! * **`BENCH_ingest_merge.json`** — the k-way merge scaling ratio
+//!   (4-way vs 1-way records/s), again self-normalized, plus the static
+//!   invariant that the committed adaptive batching policy does not lose
+//!   to the fixed baseline on bursty p99.
+//!
+//! Absolute throughput numbers (records/s, raw ns) are machine-dependent
+//! and deliberately **not** gated — a faster or slower CI box would make
+//! them meaningless. Ratios survive the box change.
+//!
+//! ```text
+//! cargo run -p cgc-bench --release --bin bench_gate \
+//!     [BENCH_forest.json] [BENCH_ingest_merge.json]
+//! ```
+//!
+//! `PERF_GATE_TOLERANCE` overrides the allowed fractional regression
+//! (default `0.15` = 15 %).
+
+use std::time::Instant;
+
+use cgc_bench::forestperf::{measure_inference, ForestSnapshot};
+use cgc_ingest::{merge_sources, split_round_robin, MergeConfig, MergeSource};
+use nettrace::packet::FiveTuple;
+use serde::Deserialize;
+
+/// Reps for the gate's fresh measurement: a notch above the snapshot
+/// regenerator's, because a flaky gate is worse than a slow one.
+const REPS: usize = 15;
+
+/// Merge-feed size for the gate re-measurement (smaller than the
+/// snapshot's 256 Ki — the gate only needs the scaling ratio).
+const MERGE_RECORDS: usize = 131_072;
+
+#[derive(Deserialize)]
+struct MergeRow {
+    ways: usize,
+    records_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct IngestSnapshot {
+    merge_throughput: Vec<MergeRow>,
+    adaptive_p99_improvement_pct_vs_fixed: f64,
+}
+
+struct Gate {
+    tolerance: f64,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    /// `current` must not sit more than `tolerance` below `committed`.
+    fn check(&mut self, what: &str, current: f64, committed: f64) {
+        let floor = committed * (1.0 - self.tolerance);
+        let verdict = if current >= floor { "ok" } else { "FAIL" };
+        eprintln!(
+            "  {verdict:>4}  {what}: current {current:.3} vs committed {committed:.3} (floor {floor:.3})"
+        );
+        if current < floor {
+            self.failures
+                .push(format!("{what}: {current:.3} < floor {floor:.3}"));
+        }
+    }
+
+    /// A static invariant on the committed snapshot itself.
+    fn require(&mut self, what: &str, ok: bool) {
+        eprintln!("  {:>4}  {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+/// Same synthetic tap feed as `bench_ingest_merge`.
+fn merge_feed(n: usize) -> Vec<cgc_core::shard::TapRecord> {
+    (0..n)
+        .map(|i| {
+            let tuple = FiveTuple::udp_v4(
+                [10, 0, 0, 1],
+                49003,
+                [100, 64, 0, (i % 16) as u8],
+                50_000 + (i % 16) as u16,
+            );
+            (i as u64 * 10, tuple, 1_200u32)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` merge throughput for a `ways`-way split of `feed`.
+fn merge_records_per_sec(feed: &[cgc_core::shard::TapRecord], ways: usize, reps: usize) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let sources: Vec<MergeSource> = split_round_robin(feed, ways)
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| MergeSource::new(format!("s{i}"), part))
+            .collect();
+        let start = Instant::now();
+        let (out, stats) = merge_sources(sources, &MergeConfig::default(), None);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(out.len(), feed.len());
+        assert_eq!(stats.late_total(), 0);
+        best = best.max(feed.len() as f64 / secs);
+    }
+    best
+}
+
+fn committed_ratio(snapshot: &IngestSnapshot, ways: usize) -> f64 {
+    let rps = |w: usize| {
+        snapshot
+            .merge_throughput
+            .iter()
+            .find(|r| r.ways == w)
+            .unwrap_or_else(|| panic!("committed snapshot has no {w}-way merge row"))
+            .records_per_sec
+    };
+    rps(ways) / rps(1)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let forest_path = args.next().unwrap_or_else(|| "BENCH_forest.json".into());
+    let ingest_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_ingest_merge.json".into());
+    let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+    let mut gate = Gate {
+        tolerance,
+        failures: Vec::new(),
+    };
+    eprintln!("perf gate: tolerance {:.0}%", tolerance * 100.0);
+
+    // --- Forest inference -------------------------------------------------
+    let committed: ForestSnapshot = serde_json::from_str(
+        &std::fs::read_to_string(&forest_path)
+            .unwrap_or_else(|e| panic!("read {forest_path}: {e}")),
+    )
+    .expect("parse committed forest snapshot");
+    eprintln!("forest inference (fresh measurement, best of {REPS}):");
+    let fresh = measure_inference(REPS);
+    gate.check(
+        "flat single-row speedup",
+        fresh.speedup_flat_single,
+        committed.inference.speedup_flat_single,
+    );
+    gate.check(
+        "flat batch speedup",
+        fresh.speedup_flat_batch,
+        committed.inference.speedup_flat_batch,
+    );
+    gate.require(
+        "committed snapshot clears the 5x per-slot inference floor",
+        committed
+            .inference
+            .speedup_flat_single
+            .max(committed.inference.speedup_flat_batch)
+            >= 5.0,
+    );
+
+    // --- Ingest merge ------------------------------------------------------
+    let ingest: IngestSnapshot = serde_json::from_str(
+        &std::fs::read_to_string(&ingest_path)
+            .unwrap_or_else(|e| panic!("read {ingest_path}: {e}")),
+    )
+    .expect("parse committed ingest snapshot");
+    eprintln!("ingest merge scaling (fresh measurement, best of 5):");
+    let feed = merge_feed(MERGE_RECORDS);
+    let one_way = merge_records_per_sec(&feed, 1, 5);
+    let four_way = merge_records_per_sec(&feed, 4, 5);
+    gate.check(
+        "merge 4-way/1-way throughput ratio",
+        four_way / one_way,
+        committed_ratio(&ingest, 4),
+    );
+    gate.require(
+        "committed adaptive batching beats fixed baseline on bursty p99",
+        ingest.adaptive_p99_improvement_pct_vs_fixed > 0.0,
+    );
+
+    if gate.failures.is_empty() {
+        eprintln!("perf gate: green");
+    } else {
+        eprintln!("perf gate: {} regression(s):", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

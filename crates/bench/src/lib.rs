@@ -23,6 +23,8 @@ use mlcore::{Classifier, Dataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod forestperf;
+
 /// How launch attributes are derived from a session for an evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrKind {

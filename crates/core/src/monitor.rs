@@ -124,6 +124,9 @@ impl ShardStats {
 
 struct FlowEntry<'b> {
     analyzer: SessionAnalyzer<'b>,
+    /// Normalized tuple — the interning key, kept for map removal when the
+    /// entry leaves the arena.
+    key: FiveTuple,
     down_tuple: FiveTuple,
     platform: Platform,
     started_at: Micros,
@@ -134,12 +137,23 @@ struct FlowEntry<'b> {
 }
 
 /// Multiplexing front end driving one analyzer per detected gaming flow.
+///
+/// Flow keys are interned: the normalized five-tuple maps to a `u32` arena
+/// slot once on admission, and all per-packet bookkeeping (expiry touches,
+/// entry access) runs on the slot id — hashing a 4-byte key instead of the
+/// 40-byte tuple, with entries reused through a free list so steady-state
+/// flow churn performs no per-flow allocation in the table itself.
 pub struct TapMonitor<'b> {
     bundle: &'b ModelBundle,
     config: MonitorConfig,
     filter: CloudGamingFilter,
-    flows: HashMap<FiveTuple, FlowEntry<'b>>,
-    expiry: ExpiryWheel<FiveTuple>,
+    /// Normalized tuple → arena slot.
+    flows: HashMap<FiveTuple, u32>,
+    /// Slot-indexed entries; `None` marks a slot on the free list.
+    arena: Vec<Option<FlowEntry<'b>>>,
+    /// Reusable arena slots of finalized flows.
+    free: Vec<u32>,
+    expiry: ExpiryWheel<u32>,
     /// Sessions evicted at the cap, held until the next finalize call.
     evicted: Vec<MonitoredSession>,
     ingested_packets: u64,
@@ -200,6 +214,8 @@ impl<'b> TapMonitor<'b> {
             config,
             filter: CloudGamingFilter::new(config.filter),
             flows: HashMap::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
             expiry: ExpiryWheel::new(config.expiry_bucket),
             evicted: Vec::new(),
             ingested_packets: 0,
@@ -250,46 +266,47 @@ impl<'b> TapMonitor<'b> {
         }
 
         let key = down_tuple.normalized();
-        let is_new = !self.flows.contains_key(&key);
-        if is_new && self.flows.len() >= self.config.max_flows.max(1) {
-            self.evict_least_recent();
-        }
-        let config = &self.config;
-        let bundle = self.bundle;
-        let pipeline_metrics = &self.pipeline_metrics;
-        let journal = &self.journal;
-        let entry = self.flows.entry(key).or_insert_with(|| {
-            let flow_id = key.flow_id();
-            let mut analyzer = SessionAnalyzer::with_metrics(
-                bundle,
-                config.analyzer,
-                config.qoe,
-                pipeline_metrics.clone(),
-            );
-            analyzer.attach_journal(journal.clone(), flow_id, ts);
-            FlowEntry {
-                analyzer,
-                down_tuple,
-                platform,
-                started_at: ts,
-                last_seen: ts,
-                stats: FlowStats::default(),
-                flow_id,
-            }
-        });
-        if is_new {
-            self.metrics.active_flows.inc();
-            self.journal.emit(
-                entry.flow_id,
-                ts,
-                EventKind::FlowAdmitted {
-                    addr: down_tuple.flow_addr(),
+        let slot = match self.flows.get(&key) {
+            Some(&slot) => slot,
+            None => {
+                if self.flows.len() >= self.config.max_flows.max(1) {
+                    self.evict_least_recent();
+                }
+                let flow_id = key.flow_id();
+                let mut analyzer = SessionAnalyzer::with_metrics(
+                    self.bundle,
+                    self.config.analyzer,
+                    self.config.qoe,
+                    self.pipeline_metrics.clone(),
+                );
+                analyzer.attach_journal(self.journal.clone(), flow_id, ts);
+                let entry = FlowEntry {
+                    analyzer,
+                    key,
+                    down_tuple,
                     platform,
-                },
-            );
-        }
+                    started_at: ts,
+                    last_seen: ts,
+                    stats: FlowStats::default(),
+                    flow_id,
+                };
+                let slot = self.alloc_slot(entry);
+                self.flows.insert(key, slot);
+                self.metrics.active_flows.inc();
+                self.journal.emit(
+                    flow_id,
+                    ts,
+                    EventKind::FlowAdmitted {
+                        addr: down_tuple.flow_addr(),
+                        platform,
+                    },
+                );
+                slot
+            }
+        };
+        let entry = self.arena[slot as usize].as_mut().expect("live slot");
         entry.last_seen = ts;
-        self.expiry.touch(key, ts);
+        self.expiry.touch(slot, ts);
         self.ingested_packets += 1;
         self.metrics.ingested.inc();
         // Rebase to flow-relative time for the analyzer.
@@ -321,7 +338,8 @@ impl<'b> TapMonitor<'b> {
     /// estimators have produced latency/loss measurements for it). Applies
     /// to QoE labels of slots closed after the call.
     pub fn set_qoe(&mut self, tuple: &FiveTuple, qoe: QoeInputs) {
-        if let Some(e) = self.flows.get_mut(&tuple.normalized()) {
+        if let Some(&slot) = self.flows.get(&tuple.normalized()) {
+            let e = self.arena[slot as usize].as_mut().expect("live slot");
             e.analyzer.set_qoe(qoe);
         }
     }
@@ -368,10 +386,10 @@ impl<'b> TapMonitor<'b> {
         self.finalize_due(due)
     }
 
-    fn finalize_due(&mut self, due: Vec<FiveTuple>) -> Vec<MonitoredSession> {
+    fn finalize_due(&mut self, due: Vec<u32>) -> Vec<MonitoredSession> {
         let mut out = std::mem::take(&mut self.evicted);
-        for key in due {
-            let entry = self.flows.remove(&key).expect("wheel and table in sync");
+        for slot in due {
+            let entry = self.take_slot(slot);
             out.push(self.finalize(entry, CloseCause::Idle));
         }
         self.publish_expiry_scans();
@@ -382,14 +400,40 @@ impl<'b> TapMonitor<'b> {
     /// evicted at the cap since the last `finish_idle`.
     pub fn finish_all(&mut self) -> Vec<MonitoredSession> {
         let mut out = std::mem::take(&mut self.evicted);
-        let keys: Vec<FiveTuple> = self.flows.keys().copied().collect();
-        for key in keys {
-            let entry = self.flows.remove(&key).expect("key present");
-            self.expiry.remove(&key);
+        let slots: Vec<u32> = self.flows.values().copied().collect();
+        for slot in slots {
+            self.expiry.remove(&slot);
+            let entry = self.take_slot(slot);
             out.push(self.finalize(entry, CloseCause::Drained));
         }
         self.publish_expiry_scans();
         out
+    }
+
+    /// Stores `entry` in a reused (or fresh) arena slot.
+    fn alloc_slot(&mut self, entry: FlowEntry<'b>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.arena.len()).expect("flow arena fits u32");
+                self.arena.push(Some(entry));
+                slot
+            }
+        }
+    }
+
+    /// Removes `slot`'s entry from the arena and intern map, returning the
+    /// slot to the free list.
+    fn take_slot(&mut self, slot: u32) -> FlowEntry<'b> {
+        let entry = self.arena[slot as usize]
+            .take()
+            .expect("wheel and table in sync");
+        self.flows.remove(&entry.key);
+        self.free.push(slot);
+        entry
     }
 
     /// Publishes wheel-scan work accumulated since the last call to the
@@ -406,8 +450,8 @@ impl<'b> TapMonitor<'b> {
 
     /// Finalizes the least-recently-seen flow to make room at the cap.
     fn evict_least_recent(&mut self) {
-        if let Some(key) = self.expiry.pop_least_recent() {
-            let entry = self.flows.remove(&key).expect("wheel and table in sync");
+        if let Some(slot) = self.expiry.pop_least_recent() {
+            let entry = self.take_slot(slot);
             let session = self.finalize(entry, CloseCause::Evicted);
             self.evicted.push(session);
             self.evicted_flows += 1;

@@ -9,8 +9,8 @@
 use cgc_domain::{ActivityPattern, Stage};
 use cgc_features::transitions::TransitionAccumulator;
 use mlcore::forest::{RandomForest, RandomForestConfig};
-use mlcore::{Classifier, Dataset};
-use serde::{Deserialize, Serialize};
+use mlcore::{argmax, Classifier, Dataset, FlatForest};
+use serde::{Deserialize, Serialize, Value};
 
 /// Pattern inference configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,10 +53,33 @@ pub struct PatternPrediction {
 }
 
 /// A trained gameplay-activity-pattern inferrer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Inference runs per slot on the tap hot path, so it uses the
+/// [`FlatForest`] compiled from the trained forest (rebuilt on
+/// deserialization — wire format unchanged).
+#[derive(Debug, Clone)]
 pub struct PatternInferrer {
     forest: RandomForest,
+    flat: FlatForest,
     config: PatternInferrerConfig,
+}
+
+impl Serialize for PatternInferrer {
+    fn to_value(&self) -> Value {
+        // Mirror the old derived `{ forest, config }` layout.
+        Value::Object(vec![
+            ("forest".to_string(), self.forest.to_value()),
+            ("config".to_string(), self.config.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PatternInferrer {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let forest = RandomForest::from_value(v.field("forest")?)?;
+        let config = PatternInferrerConfig::from_value(v.field("config")?)?;
+        Ok(PatternInferrer::from_parts(forest, config))
+    }
 }
 
 impl PatternInferrer {
@@ -72,21 +95,26 @@ impl PatternInferrer {
             "transition features are 9-dimensional"
         );
         assert_eq!(data.n_classes, 2, "two activity patterns");
+        Self::from_parts(RandomForest::fit(data, &config.forest), config)
+    }
+
+    fn from_parts(forest: RandomForest, config: PatternInferrerConfig) -> PatternInferrer {
+        let flat = forest.to_flat();
         PatternInferrer {
-            forest: RandomForest::fit(data, &config.forest),
+            forest,
+            flat,
             config,
         }
     }
 
     /// Raw inference on a transition-feature vector: `(pattern, confidence)`.
+    /// Runs on the flat forest with a stack score buffer — no allocation.
     pub fn infer(&self, features: &[f64; 9]) -> (ActivityPattern, f64) {
-        let p = self.forest.predict_proba(features);
-        let (i, conf) = p
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, &c)| (i, c))
-            .unwrap_or((0, 0.0));
+        let mut p = [0.0f64; 2];
+        let nc = self.flat.n_classes();
+        self.flat.predict_proba_into(features, &mut p[..nc]);
+        let i = argmax(&p[..nc]);
+        let conf = p.get(i).copied().unwrap_or(0.0);
         (ActivityPattern::from_index(i).expect("two classes"), conf)
     }
 
@@ -100,6 +128,7 @@ impl PatternInferrer {
     pub fn with_config(&self, config: PatternInferrerConfig) -> PatternInferrer {
         PatternInferrer {
             forest: self.forest.clone(),
+            flat: self.flat.clone(),
             config,
         }
     }

@@ -99,10 +99,14 @@ enum ShardMsg {
     Stats(Sender<ShardStats>),
 }
 
+// One parameter per channel/metric the worker owns; bundling them into a
+// struct would just move the argument list behind a constructor.
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     bundle: Arc<ModelBundle>,
     config: MonitorConfig,
     rx: Receiver<ShardMsg>,
+    recycle: Sender<Vec<TapRecord>>,
     metrics: MonitorMetrics,
     pipeline_metrics: PipelineMetrics,
     journal: EventSink,
@@ -114,9 +118,14 @@ fn shard_worker(
     monitor.set_journal(journal);
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch(records) => {
+            ShardMsg::Batch(mut records) => {
                 monitor.ingest_batch(&records);
                 queue_depth.dec();
+                // Hand the emptied buffer back to the router so the
+                // steady-state queue→monitor hand-off allocates nothing
+                // (the send fails harmlessly once the router is gone).
+                records.clear();
+                let _ = recycle.send(records);
             }
             ShardMsg::SetQoe(tuple, qoe) => monitor.set_qoe(&tuple, qoe),
             ShardMsg::FinishIdle(now, reply) => {
@@ -146,6 +155,9 @@ pub struct ShardedTapMonitor {
     pending: Vec<Vec<TapRecord>>,
     depth_gauges: Vec<Arc<Gauge>>,
     batch_size: usize,
+    /// Emptied batch buffers coming back from the workers, reused for the
+    /// next dispatch instead of allocating fresh `Vec`s per batch.
+    recycle_rx: Receiver<Vec<TapRecord>>,
 }
 
 impl ShardedTapMonitor {
@@ -187,6 +199,7 @@ impl ShardedTapMonitor {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut depth_gauges = Vec::with_capacity(shards);
+        let (recycle_tx, recycle_rx) = channel::unbounded();
         for i in 0..shards {
             let (tx, rx) = channel::unbounded();
             let b = Arc::clone(&bundle);
@@ -194,12 +207,13 @@ impl ShardedTapMonitor {
             let mm = monitor_metrics.clone();
             let pm = pipeline_metrics.clone();
             let sink = journal.clone();
+            let rc = recycle_tx.clone();
             let depth = MonitorMetrics::shard_queue_depth(registry, i);
             let worker_depth = Arc::clone(&depth);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tap-shard-{i}"))
-                    .spawn(move || shard_worker(b, mc, rx, mm, pm, sink, worker_depth))
+                    .spawn(move || shard_worker(b, mc, rx, rc, mm, pm, sink, worker_depth))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -211,7 +225,14 @@ impl ShardedTapMonitor {
             pending: vec![Vec::new(); shards],
             depth_gauges,
             batch_size,
+            recycle_rx,
         }
+    }
+
+    /// An empty batch buffer: a recycled one from the workers if any has
+    /// come back, else a fresh allocation (start-up only).
+    fn take_buf(&self) -> Vec<TapRecord> {
+        self.recycle_rx.try_recv().unwrap_or_default()
     }
 
     /// Number of worker shards.
@@ -252,13 +273,15 @@ impl ShardedTapMonitor {
         if shards == 1 {
             // Degenerate single-shard front end: no partitioning needed.
             self.flush_shard(0);
+            let mut buf = self.take_buf();
+            buf.extend_from_slice(records);
             self.depth_gauges[0].inc();
-            let _ = self.senders[0].send(ShardMsg::Batch(records.to_vec()));
+            let _ = self.senders[0].send(ShardMsg::Batch(buf));
             return;
         }
-        let mut parts: Vec<Vec<TapRecord>> = (0..shards)
-            .map(|_| Vec::with_capacity(records.len() / shards + 16))
-            .collect();
+        // Partition into recycled buffers; at steady state these come back
+        // from the workers already grown to batch capacity.
+        let mut parts: Vec<Vec<TapRecord>> = (0..shards).map(|_| self.take_buf()).collect();
         for &(ts, tuple, len) in records {
             parts[tuple.shard(shards)].push((ts, tuple, len));
         }
@@ -354,7 +377,8 @@ impl ShardedTapMonitor {
         if self.pending[shard].is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.pending[shard]);
+        let replacement = self.take_buf();
+        let batch = std::mem::replace(&mut self.pending[shard], replacement);
         self.depth_gauges[shard].inc();
         let _ = self.senders[shard].send(ShardMsg::Batch(batch));
     }

@@ -9,8 +9,8 @@
 
 use cgc_domain::Stage;
 use mlcore::forest::{RandomForest, RandomForestConfig};
-use mlcore::{Classifier, Dataset};
-use serde::{Deserialize, Serialize};
+use mlcore::{argmax, Classifier, Dataset, FlatForest};
+use serde::{Deserialize, Serialize, Value};
 
 /// Class order of the stage classifier: the three gameplay stages in
 /// [`Stage::GAMEPLAY`] order, then launch.
@@ -44,9 +44,29 @@ impl Default for StageClassifierConfig {
 }
 
 /// A trained player-activity-stage classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The pointer forest is kept for training/serialization; inference runs
+/// on the [`FlatForest`] compiled from it, which is rebuilt on
+/// deserialization (the wire format carries only the forest).
+#[derive(Debug, Clone)]
 pub struct StageClassifier {
     forest: RandomForest,
+    flat: FlatForest,
+}
+
+impl Serialize for StageClassifier {
+    fn to_value(&self) -> Value {
+        // Mirror the derived format of the old `{ forest }` struct so
+        // bundles saved before the flat layout still load.
+        Value::Object(vec![("forest".to_string(), self.forest.to_value())])
+    }
+}
+
+impl Deserialize for StageClassifier {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let forest = RandomForest::from_value(v.field("forest")?)?;
+        Ok(StageClassifier::from_forest(forest))
+    }
 }
 
 impl StageClassifier {
@@ -58,22 +78,36 @@ impl StageClassifier {
     pub fn train(data: &Dataset, config: StageClassifierConfig) -> StageClassifier {
         assert_eq!(data.n_features(), 4, "stage features are 4-dimensional");
         assert!(data.n_classes <= 4, "at most 4 stage classes");
-        StageClassifier {
-            forest: RandomForest::fit(data, &config.forest),
-        }
+        Self::from_forest(RandomForest::fit(data, &config.forest))
     }
 
-    /// Classifies one slot's feature vector into a stage.
+    fn from_forest(forest: RandomForest) -> StageClassifier {
+        let flat = forest.to_flat();
+        StageClassifier { forest, flat }
+    }
+
+    /// Classifies one slot's feature vector into a stage. Runs on the flat
+    /// forest with a stack score buffer — no allocation per slot.
     pub fn classify(&self, features: &[f64; 4]) -> Stage {
-        let id = self.forest.predict(features);
+        let mut scores = [0.0f64; 4];
+        let nc = self.flat.n_classes();
+        self.flat.predict_proba_into(features, &mut scores[..nc]);
+        let id = argmax(&scores[..nc]);
         STAGE_CLASSES[id.min(STAGE_CLASSES.len() - 1)]
     }
 
     /// Class probabilities in [`STAGE_CLASSES`] order (padded with zeros if
     /// the training data lacked some classes).
     pub fn probabilities(&self, features: &[f64; 4]) -> [f64; 4] {
-        let p = self.forest.predict_proba(features);
-        std::array::from_fn(|i| p.get(i).copied().unwrap_or(0.0))
+        let mut p = [0.0f64; 4];
+        let nc = self.flat.n_classes();
+        self.flat.predict_proba_into(features, &mut p[..nc]);
+        p
+    }
+
+    /// The underlying trained forest (pointer form).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
     }
 }
 

@@ -10,9 +10,9 @@
 use cgc_domain::GameTitle;
 use cgc_features::launch_attrs::{launch_attributes, LaunchAttrConfig};
 use mlcore::forest::{RandomForest, RandomForestConfig};
-use mlcore::{Classifier, Dataset};
+use mlcore::{argmax, Classifier, Dataset, FlatForest};
 use nettrace::packet::Packet;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Title classifier configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,10 +54,33 @@ pub struct TitlePrediction {
 }
 
 /// A trained game title classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Inference runs on the [`FlatForest`] compiled from the trained forest;
+/// the flat form is rebuilt on deserialization, so the wire format is
+/// unchanged from the pointer-only version.
+#[derive(Debug, Clone)]
 pub struct TitleClassifier {
     forest: RandomForest,
+    flat: FlatForest,
     config: TitleClassifierConfig,
+}
+
+impl Serialize for TitleClassifier {
+    fn to_value(&self) -> Value {
+        // Mirror the old derived `{ forest, config }` layout.
+        Value::Object(vec![
+            ("forest".to_string(), self.forest.to_value()),
+            ("config".to_string(), self.config.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TitleClassifier {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let forest = RandomForest::from_value(v.field("forest")?)?;
+        let config = TitleClassifierConfig::from_value(v.field("config")?)?;
+        Ok(TitleClassifier::from_parts(forest, config))
+    }
 }
 
 impl TitleClassifier {
@@ -72,21 +95,24 @@ impl TitleClassifier {
             config.attr.n_attributes(),
             "dataset width does not match attribute config"
         );
+        Self::from_parts(RandomForest::fit(data, &config.forest), config)
+    }
+
+    fn from_parts(forest: RandomForest, config: TitleClassifierConfig) -> TitleClassifier {
+        let flat = forest.to_flat();
         TitleClassifier {
-            forest: RandomForest::fit(data, &config.forest),
+            forest,
+            flat,
             config,
         }
     }
 
     /// Classifies from a pre-extracted attribute vector.
     pub fn classify_features(&self, attrs: &[f64]) -> TitlePrediction {
-        let proba = self.forest.predict_proba(attrs);
-        let (best, conf) = proba
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, &p)| (i, p))
-            .unwrap_or((0, 0.0));
+        let mut proba = vec![0.0f64; self.flat.n_classes()];
+        self.flat.predict_proba_into(attrs, &mut proba);
+        let best = argmax(&proba);
+        let conf = proba.get(best).copied().unwrap_or(0.0);
         TitlePrediction {
             title: (conf >= self.config.confidence_threshold)
                 .then(|| GameTitle::from_index(best))

@@ -175,6 +175,27 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Expected feature-vector width (0 for an untrained/empty forest).
+    pub fn n_features(&self) -> usize {
+        self.trees.first().map_or(0, DecisionTree::n_features)
+    }
+
+    /// The trained trees, for flattening ([`crate::flat`]).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Compiles this forest into the flat SoA inference layout.
+    pub fn to_flat(&self) -> crate::flat::FlatForest {
+        crate::flat::FlatForest::from_forest(self)
+    }
+
+    /// Consumes the forest, returning the flat inference form. Identical
+    /// to [`RandomForest::to_flat`]; use whichever fits ownership.
+    pub fn into_flat(self) -> crate::flat::FlatForest {
+        self.to_flat()
+    }
 }
 
 impl Classifier for RandomForest {
@@ -191,6 +212,19 @@ impl Classifier for RandomForest {
             *a /= n;
         }
         acc
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for t in &self.trees {
+            for (a, v) in out.iter_mut().zip(t.leaf_proba(x)) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in out.iter_mut() {
+            *a /= n;
+        }
     }
 
     fn n_classes(&self) -> usize {

@@ -48,6 +48,7 @@
 
 pub mod augment;
 pub mod data;
+pub mod flat;
 pub mod forest;
 pub mod importance;
 pub mod knn;
@@ -57,6 +58,7 @@ pub mod svm;
 pub mod tree;
 
 pub use data::{cross_validate, Dataset};
+pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use importance::permutation_importance;
 pub use knn::{DistanceMetric, Knn};
@@ -65,16 +67,28 @@ pub use scale::StandardScaler;
 pub use svm::{Kernel, SvmConfig, SvmOvr};
 pub use tree::DecisionTree;
 
+/// Index of the maximum score, breaking ties toward the **last** maximal
+/// entry — the same tie-break `Iterator::max_by` applies, so argmax over a
+/// probability vector always matches [`Classifier::predict`].
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+/// Panics on NaN scores (probabilities are expected to be finite).
+pub fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// A trained multi-class classifier over dense `f64` feature vectors.
 pub trait Classifier {
     /// Predicted class id for one sample.
     fn predict(&self, x: &[f64]) -> usize {
-        let p = self.predict_proba(x);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax(&self.predict_proba(x))
     }
 
     /// Class-probability (or normalized score) vector for one sample; the
@@ -82,11 +96,82 @@ pub trait Classifier {
     /// thresholds to emit "unknown".
     fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
 
+    /// Fills `out` with the class-probability vector for one sample
+    /// without allocating. `out.len()` must equal [`Classifier::n_classes`];
+    /// models with an allocation-free path override this.
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.predict_proba(x));
+    }
+
     /// Number of classes.
     fn n_classes(&self) -> usize;
 
-    /// Batch prediction.
+    /// Batch prediction. The default reuses one score buffer across rows
+    /// instead of allocating a probability `Vec` per sample.
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut scores = vec![0.0f64; self.n_classes()];
+        xs.iter()
+            .map(|x| {
+                self.predict_proba_into(x, &mut scores);
+                argmax(&scores)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// A fixed-response classifier for exercising the trait defaults.
+    struct Fixed;
+
+    impl Classifier for Fixed {
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            // Class 1 wins iff the first feature is positive.
+            if x[0] > 0.0 {
+                vec![0.2, 0.8]
+            } else {
+                vec![0.8, 0.2]
+            }
+        }
+
+        fn n_classes(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn predict_batch_empty_batch() {
+        assert_eq!(Fixed.predict_batch(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn predict_batch_single_row() {
+        assert_eq!(Fixed.predict_batch(&[vec![1.0]]), vec![1]);
+        assert_eq!(Fixed.predict_batch(&[vec![-1.0]]), vec![0]);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let xs = vec![vec![1.0], vec![-2.0], vec![3.0], vec![0.0]];
+        let one_by_one: Vec<usize> = xs.iter().map(|x| Fixed.predict(x)).collect();
+        assert_eq!(Fixed.predict_batch(&xs), one_by_one);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_last() {
+        // Matches Iterator::max_by: later equal entries win.
+        assert_eq!(argmax(&[0.5, 0.5]), 1);
+        assert_eq!(argmax(&[0.3, 0.4, 0.4, 0.2]), 2);
+        assert_eq!(argmax(&[1.0]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn predict_proba_into_default_copies() {
+        let mut out = [0.0f64; 2];
+        Fixed.predict_proba_into(&[1.0], &mut out);
+        assert_eq!(out, [0.2, 0.8]);
     }
 }

@@ -191,4 +191,69 @@ mod tests {
         assert!(s.contains("dog"));
         assert!(s.lines().count() == 3);
     }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_pairs_length_mismatch_panics() {
+        let _ = ConfusionMatrix::from_pairs(2, &[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_pairs_label_out_of_range_panics() {
+        let _ = ConfusionMatrix::from_pairs(2, &[2], &[0]);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::from_pairs(3, &[], &[]);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_recall(), 0.0);
+        for c in 0..3 {
+            assert_eq!(m.recall(c), 0.0);
+            assert_eq!(m.precision(c), 0.0);
+            assert_eq!(m.f1(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_accuracy_matches_free_function() {
+        let truth = [0, 1, 2, 1, 0, 2, 2];
+        let pred = [0, 1, 1, 1, 2, 2, 0];
+        let m = ConfusionMatrix::from_pairs(3, &truth, &pred);
+        assert!((m.accuracy() - accuracy(&truth, &pred)).abs() < 1e-12);
+        assert_eq!(m.total(), truth.len());
+    }
+
+    #[test]
+    fn macro_recall_weights_classes_equally() {
+        // Class 0: 9/10 right, class 1: 0/1 right. Overall accuracy is
+        // dominated by class 0; macro recall is not.
+        let truth: Vec<usize> = std::iter::repeat_n(0, 10).chain([1]).collect();
+        let mut pred = truth.clone();
+        pred[0] = 1; // one class-0 miss
+        pred[10] = 0; // the only class-1 sample misses
+        let m = ConfusionMatrix::from_pairs(2, &truth, &pred);
+        assert!((m.accuracy() - 9.0 / 11.0).abs() < 1e-12);
+        assert!((m.macro_recall() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_falls_back_to_placeholder_names() {
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1, 2], &[0, 1, 2]);
+        let s = m.render(&["only-one"]);
+        assert!(s.contains("only-one"));
+        assert!(s.contains('?'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_counts() {
+        let m = ConfusionMatrix::from_pairs(3, &[0, 0, 1, 2, 2], &[0, 1, 1, 2, 0]);
+        let back: ConfusionMatrix =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get(2, 0), 1);
+    }
 }

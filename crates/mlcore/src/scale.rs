@@ -114,4 +114,57 @@ mod tests {
         sc.transform_inplace(&mut b);
         assert_eq!(a[0], b[0]);
     }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_on_empty_dataset_panics() {
+        let _ = StandardScaler::fit(&Dataset::new(vec![], vec![]));
+    }
+
+    #[test]
+    fn refit_on_standardized_data_is_identity() {
+        // Round trip: once standardized, a second fitted scaler has
+        // mean ≈ 0 / std ≈ 1 and transforms (numerically) to itself.
+        let d = Dataset::new(
+            vec![
+                vec![1.0, -3.0],
+                vec![4.0, 0.5],
+                vec![9.0, 2.0],
+                vec![2.5, 7.0],
+            ],
+            vec![0, 1, 0, 1],
+        );
+        let first = StandardScaler::fit(&d).transform_dataset(&d);
+        let second = StandardScaler::fit(&first).transform_dataset(&first);
+        for (a, b) in first.x.iter().flatten().zip(second.x.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transform_dataset_preserves_labels_and_shape() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![7, 9]);
+        let t = StandardScaler::fit(&d).transform_dataset(&d);
+        assert_eq!(t.y, d.y);
+        assert_eq!(t.len(), d.len());
+        assert_eq!(t.n_features(), d.n_features());
+    }
+
+    #[test]
+    fn serde_roundtrip_transforms_identically() {
+        let d = Dataset::new(
+            vec![
+                vec![0.25, -8.0, 3.0],
+                vec![1.5, 2.0, -0.5],
+                vec![4.0, 0.0, 9.0],
+            ],
+            vec![0, 1, 2],
+        );
+        let sc = StandardScaler::fit(&d);
+        let back: StandardScaler =
+            serde_json::from_str(&serde_json::to_string(&sc).unwrap()).unwrap();
+        assert_eq!(back, sc);
+        let probe = [1.0, -1.0, 2.5];
+        assert_eq!(sc.transform(&probe), back.transform(&probe));
+    }
 }

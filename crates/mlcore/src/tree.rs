@@ -40,7 +40,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Normalized class distribution at the leaf.
         proba: Vec<f64>,
@@ -143,6 +143,41 @@ impl DecisionTree {
         }
         c(&self.root)
     }
+
+    /// Expected feature-vector width.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Root node, for flattening ([`crate::flat`]).
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Walks the tree for `x` and returns the leaf's stored class
+    /// distribution without cloning it — the allocation-free core of
+    /// [`Classifier::predict_proba`].
+    pub fn leaf_proba(&self, x: &[f64]) -> &[f64] {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { proba } => return proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
 }
 
 fn grow(
@@ -234,25 +269,11 @@ fn grow(
 
 impl Classifier for DecisionTree {
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_features, "feature width mismatch");
-        let mut node = &self.root;
-        loop {
-            match node {
-                Node::Leaf { proba } => return proba.clone(),
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    node = if x[*feature] <= *threshold {
-                        left
-                    } else {
-                        right
-                    };
-                }
-            }
-        }
+        self.leaf_proba(x).to_vec()
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(self.leaf_proba(x));
     }
 
     fn n_classes(&self) -> usize {

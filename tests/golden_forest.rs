@@ -1,0 +1,205 @@
+//! Golden-fixture tests pinning serialized-model → prediction outputs.
+//!
+//! Small trained models are committed under `tests/fixtures/` together
+//! with their expected predictions. A model-format or traversal refactor
+//! that silently changes any verdict — or any probability bit — fails
+//! here. The flat layout is additionally checked against the same
+//! expectations, so pointer and flat inference stay pinned to one truth.
+//!
+//! Regenerate (after an *intentional* model-format change) with:
+//! `GOLDEN_REGEN=1 cargo test --test golden_forest` — then commit the
+//! rewritten fixtures.
+
+use mlcore::{Classifier, Dataset, DecisionTree, RandomForest, RandomForestConfig};
+use serde::{Deserialize, Serialize};
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Deterministic three-class training data (no RNG: fixed trigonometric
+/// lattice, so the fixture can be rebuilt from source alone).
+fn training_data() -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..90 {
+        let t = i as f64;
+        let c = (i % 3) as usize;
+        let (cx, cy) = [(0.0, 0.0), (6.0, 6.0), (0.0, 6.0)][c];
+        x.push(vec![cx + (t * 0.7).sin() * 1.5, cy + (t * 1.3).cos() * 1.5]);
+        y.push(c);
+    }
+    Dataset::new(x, y)
+}
+
+/// Probe inputs covering in-distribution points, the class boundaries,
+/// out-of-range magnitudes, and non-finite features.
+fn probes() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.0, 0.0],
+        vec![6.0, 6.0],
+        vec![0.0, 6.0],
+        vec![3.0, 3.0],
+        vec![3.0, 6.0],
+        vec![-50.0, 80.0],
+        vec![1e9, -1e9],
+        vec![f64::NAN, 0.0],
+        vec![0.0, f64::NAN],
+        vec![f64::INFINITY, f64::NEG_INFINITY],
+    ]
+}
+
+#[derive(Serialize, Deserialize)]
+struct Expectation {
+    x: Vec<f64>,
+    predict: usize,
+    proba: Vec<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ForestFixture {
+    forest: RandomForest,
+    expected: Vec<Expectation>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TreeFixture {
+    tree: DecisionTree,
+    expected: Vec<Expectation>,
+}
+
+fn regen() -> bool {
+    std::env::var("GOLDEN_REGEN").is_ok_and(|v| v == "1")
+}
+
+fn load_or_regen<T: Serialize + Deserialize>(name: &str, build: impl FnOnce() -> T) -> T {
+    let path = fixture_dir().join(name);
+    if regen() {
+        let value = build();
+        std::fs::create_dir_all(fixture_dir()).expect("create fixture dir");
+        let text = serde_json::to_string_pretty(&value).expect("fixture serializes");
+        std::fs::write(&path, text).expect("write fixture");
+        return value;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path:?} ({e}); run with GOLDEN_REGEN=1 to create it")
+    });
+    serde_json::from_str(&text).expect("fixture deserializes")
+}
+
+fn forest_fixture() -> ForestFixture {
+    load_or_regen("forest_small.json", || {
+        let forest = RandomForest::fit(
+            &training_data(),
+            &RandomForestConfig {
+                n_trees: 7,
+                max_depth: 6,
+                seed: 2024,
+                ..Default::default()
+            },
+        );
+        let expected = probes()
+            .into_iter()
+            .map(|x| Expectation {
+                predict: forest.predict(&x),
+                proba: forest.predict_proba(&x),
+                x,
+            })
+            .collect();
+        ForestFixture { forest, expected }
+    })
+}
+
+fn tree_fixture() -> TreeFixture {
+    load_or_regen("tree_small.json", || {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(
+            &training_data(),
+            &mlcore::tree::TreeConfig {
+                max_depth: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let expected = probes()
+            .into_iter()
+            .map(|x| Expectation {
+                predict: tree.predict(&x),
+                proba: tree.predict_proba(&x),
+                x,
+            })
+            .collect();
+        TreeFixture { tree, expected }
+    })
+}
+
+/// f64-exact comparison that treats NaN == NaN (expected probabilities are
+/// always finite, but be strict about silent NaN leaks anyway).
+fn assert_bits_eq(a: &[f64], b: &[f64], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn forest_fixture_predictions_are_pinned() {
+    let fx = forest_fixture();
+    for e in &fx.expected {
+        assert_eq!(fx.forest.predict(&e.x), e.predict, "predict on {:?}", e.x);
+        assert_bits_eq(
+            &fx.forest.predict_proba(&e.x),
+            &e.proba,
+            &format!("pointer proba on {:?}", e.x),
+        );
+    }
+}
+
+#[test]
+fn flat_forest_matches_pinned_fixture_exactly() {
+    let fx = forest_fixture();
+    let flat = fx.forest.to_flat();
+    for e in &fx.expected {
+        assert_eq!(flat.predict(&e.x), e.predict, "flat predict on {:?}", e.x);
+        assert_bits_eq(
+            &flat.predict_proba(&e.x),
+            &e.proba,
+            &format!("flat proba on {:?}", e.x),
+        );
+    }
+    // Batch path pins to the same expectations.
+    let xs: Vec<Vec<f64>> = fx.expected.iter().map(|e| e.x.clone()).collect();
+    let preds: Vec<usize> = fx.expected.iter().map(|e| e.predict).collect();
+    assert_eq!(flat.predict_batch(&xs), preds);
+}
+
+#[test]
+fn tree_fixture_predictions_are_pinned() {
+    let fx = tree_fixture();
+    for e in &fx.expected {
+        assert_eq!(fx.tree.predict(&e.x), e.predict, "predict on {:?}", e.x);
+        assert_bits_eq(
+            &fx.tree.predict_proba(&e.x),
+            &e.proba,
+            &format!("tree proba on {:?}", e.x),
+        );
+    }
+}
+
+#[test]
+fn fixture_survives_serde_roundtrip() {
+    let fx = forest_fixture();
+    let json = serde_json::to_string(&fx.forest).unwrap();
+    let back: RandomForest = serde_json::from_str(&json).unwrap();
+    for e in &fx.expected {
+        assert_eq!(back.predict(&e.x), e.predict);
+        assert_bits_eq(
+            &back.predict_proba(&e.x),
+            &e.proba,
+            &format!("roundtrip proba on {:?}", e.x),
+        );
+    }
+}
