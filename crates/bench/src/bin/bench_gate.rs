@@ -14,6 +14,11 @@
 //!   (4-way vs 1-way records/s), again self-normalized, plus the static
 //!   invariant that the committed adaptive batching policy does not lose
 //!   to the fixed baseline on bursty p99.
+//! * **Monitor tracing overhead** — serial monitor throughput with span
+//!   tracing disabled and with tracing attached but sampled out, both
+//!   held against `BENCH_forest.json`'s committed monitor number, and
+//!   their self-normalized ratio: the observability layer must stay free
+//!   when it is off.
 //!
 //! Absolute throughput numbers (records/s, raw ns) are machine-dependent
 //! and deliberately **not** gated — a faster or slower CI box would make
@@ -29,7 +34,9 @@
 
 use std::time::Instant;
 
-use cgc_bench::forestperf::{measure_inference, ForestSnapshot};
+use cgc_bench::forestperf::{
+    measure_inference, measure_monitor, measure_monitor_traced, ForestSnapshot,
+};
 use cgc_ingest::{merge_sources, split_round_robin, MergeConfig, MergeSource};
 use nettrace::packet::FiveTuple;
 use serde::Deserialize;
@@ -169,6 +176,33 @@ fn main() {
             .speedup_flat_single
             .max(committed.inference.speedup_flat_batch)
             >= 5.0,
+    );
+
+    // --- Monitor throughput under tracing ----------------------------------
+    // Three serial-monitor measurements in this process: tracing disabled
+    // (the committed configuration), tracing attached but every flow
+    // sampled out (the cost of the branches alone), and their ratio.
+    // The tracing-cost checks are self-normalized; the disabled path is
+    // additionally held against the committed absolute number so a hot-path
+    // regression that slips past the inference gates still trips here.
+    const MONITOR_REPS: usize = 5;
+    eprintln!("monitor throughput under tracing (fresh measurement, best of {MONITOR_REPS}):");
+    let untraced = measure_monitor(MONITOR_REPS);
+    let sampled_out = measure_monitor_traced(MONITOR_REPS, u64::MAX);
+    gate.check(
+        "monitor records/s, tracing disabled, vs committed",
+        untraced.records_per_sec,
+        committed.monitor.records_per_sec,
+    );
+    gate.check(
+        "monitor records/s, tracing sampled out, vs committed",
+        sampled_out.records_per_sec,
+        committed.monitor.records_per_sec,
+    );
+    gate.check(
+        "monitor sampled-out/disabled throughput ratio",
+        sampled_out.records_per_sec / untraced.records_per_sec,
+        1.0,
     );
 
     // --- Ingest merge ------------------------------------------------------

@@ -216,11 +216,31 @@ fn monitor_feed() -> Vec<(Micros, FiveTuple, u32)> {
 /// Trains a quick bundle and replays the interleaved 10 k-flow feed
 /// through a serial [`TapMonitor`], best-of-`reps`.
 pub fn measure_monitor(reps: usize) -> MonitorPerf {
+    measure_monitor_with_sink(reps, None)
+}
+
+/// [`measure_monitor`] with span tracing attached at `1/sample` head
+/// sampling. `sample = u64::MAX` keeps the sink enabled but samples every
+/// real flow out — the cost of the tracing *branches* alone, which the
+/// perf gate holds against the untraced number.
+pub fn measure_monitor_traced(reps: usize, sample: u64) -> MonitorPerf {
+    let registry = cgc_obs::Registry::new();
+    let (sink, _collector) = cgc_obs::TraceCollector::new(
+        cgc_obs::TraceConfig::default().with_sample(sample),
+        &registry,
+    );
+    measure_monitor_with_sink(reps, Some(sink))
+}
+
+fn measure_monitor_with_sink(reps: usize, sink: Option<cgc_obs::TraceSink>) -> MonitorPerf {
     let bundle = Arc::new(train_bundle(&TrainConfig::quick()));
     let feed = monitor_feed();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut monitor = TapMonitor::new(&bundle, MonitorConfig::default());
+        if let Some(sink) = &sink {
+            monitor.set_trace(sink.clone());
+        }
         let start = Instant::now();
         for (ts, tuple, len) in &feed {
             monitor.ingest(*ts, tuple, *len);

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use cgc_obs::event::{CloseCause, EventKind};
 use cgc_obs::journal::EventSink;
+use cgc_obs::{TraceSink, TraceStage};
 use nettrace::flow::FlowStats;
 use nettrace::packet::{Direction, FiveTuple, Packet};
 use nettrace::pcap::PcapRecord;
@@ -166,6 +167,9 @@ pub struct TapMonitor<'b> {
     /// Flight-recorder sink handed to every flow's analyzer (disabled by
     /// default on injected-registry monitors; `new` wires the global one).
     journal: EventSink,
+    /// Span recorder handed to every flow's analyzer; the monitor itself
+    /// records the Shard hand-off span at flow admission.
+    trace: TraceSink,
     /// Wheel-scan count already published to the registry counter.
     expiry_published: u64,
 }
@@ -183,6 +187,7 @@ impl<'b> TapMonitor<'b> {
         // Like the metrics: the global-registry constructor records into
         // the process-wide journal (free until one is installed).
         monitor.set_journal(cgc_obs::journal::global_sink());
+        monitor.set_trace(cgc_obs::trace::global_sink());
         monitor
     }
 
@@ -226,6 +231,7 @@ impl<'b> TapMonitor<'b> {
             metrics,
             pipeline_metrics,
             journal: EventSink::disabled(),
+            trace: TraceSink::disabled(),
             expiry_published: 0,
         }
     }
@@ -234,6 +240,13 @@ impl<'b> TapMonitor<'b> {
     /// analyzer created afterwards) into `sink`.
     pub fn set_journal(&mut self, sink: EventSink) {
         self.journal = sink;
+    }
+
+    /// Routes stage-boundary spans (this monitor's Shard hand-offs and
+    /// every subsequently admitted flow's Slot/Classifier/Verdict spans)
+    /// into `sink`. Flows admitted before the call keep their old sink.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Replaces the clock behind [`finish_idle_now`](Self::finish_idle_now):
@@ -280,6 +293,7 @@ impl<'b> TapMonitor<'b> {
                     self.pipeline_metrics.clone(),
                 );
                 analyzer.attach_journal(self.journal.clone(), flow_id, ts);
+                analyzer.attach_trace(self.trace.clone());
                 let entry = FlowEntry {
                     analyzer,
                     key,
@@ -301,6 +315,12 @@ impl<'b> TapMonitor<'b> {
                         platform,
                     },
                 );
+                // One Shard span per flow, at admission: the hand-off of
+                // the flow to this monitor (one shard of the parallel
+                // front end, or the whole serial one).
+                if self.trace.is_enabled() {
+                    self.trace.record(flow_id, 0, TraceStage::Shard, ts, 0);
+                }
                 slot
             }
         };
@@ -694,6 +714,78 @@ mod tests {
         let expected = (s.duration() / out[0].report.slot_width) as usize;
         assert!(out[0].report.stage_slots.len() <= expected + 2);
         assert!(out[0].report.stage_slots.len() + 5 >= expected);
+    }
+
+    #[test]
+    fn trace_spans_cover_shard_slot_classifier_verdict() {
+        use cgc_obs::{Registry, TraceCollector, TraceConfig};
+        let b = bundle();
+        let s = session(9, GameTitle::Fortnite);
+        let registry = Registry::new();
+        let (sink, mut collector) = TraceCollector::new(
+            TraceConfig {
+                max_spans_per_flow: 4096,
+                ..TraceConfig::default()
+            },
+            &registry,
+        );
+        let mut monitor = TapMonitor::with_registry(&b, MonitorConfig::default(), &registry);
+        monitor.set_trace(sink);
+        for p in &s.packets {
+            monitor.ingest(p.ts, &wire(&s, p), p.payload_len);
+        }
+        let out = monitor.finish_all();
+        assert_eq!(out.len(), 1);
+        collector.drain();
+        let flow = s.tuple.normalized().flow_id();
+        let timeline = collector.timeline(flow).expect("flow traced");
+        let chain = timeline.causal_chain();
+        for stage in [
+            TraceStage::Shard,
+            TraceStage::Slot,
+            TraceStage::Classifier,
+            TraceStage::Verdict,
+        ] {
+            assert!(
+                chain.iter().any(|s| s.stage == stage),
+                "missing {stage} span in {chain:?}"
+            );
+        }
+        // The chain is stage-ordered: Shard precedes every Slot span,
+        // Verdict is last.
+        assert_eq!(chain.first().unwrap().stage, TraceStage::Shard);
+        assert_eq!(chain.last().unwrap().stage, TraceStage::Verdict);
+        // Exactly one span per classified slot.
+        let slots = chain.iter().filter(|s| s.stage == TraceStage::Slot).count();
+        assert_eq!(
+            slots + 10,
+            out[0].report.stage_slots.len(),
+            "seed slots untraced"
+        );
+    }
+
+    #[test]
+    fn sampled_out_flows_record_no_spans() {
+        use cgc_obs::{Registry, TraceCollector, TraceConfig};
+        let b = bundle();
+        let s = session(9, GameTitle::Fortnite);
+        let registry = Registry::new();
+        // A sample modulus no real flow hash will satisfy unless it is 0:
+        // flow ids are FNV hashes, so `flow % u64::MAX == 0` only for 0.
+        let (sink, mut collector) =
+            TraceCollector::new(TraceConfig::default().with_sample(u64::MAX), &registry);
+        let mut monitor = TapMonitor::with_registry(&b, MonitorConfig::default(), &registry);
+        monitor.set_trace(sink);
+        for p in &s.packets {
+            monitor.ingest(p.ts, &wire(&s, p), p.payload_len);
+        }
+        monitor.finish_all();
+        collector.drain();
+        assert!(collector.timelines().is_empty(), "sampled-out flow traced");
+        assert_eq!(
+            registry.snapshot().counter("cgc_trace_spans_total"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use cgc_domain::{ActivityPattern, QoeLevel, Stage};
 use cgc_obs::event::EventKind;
 use cgc_obs::journal::EventSink;
+use cgc_obs::trace::{trace_id, TraceSink, TraceStage};
 use nettrace::packet::Packet;
 use nettrace::units::{secs_to_micros, Micros};
 use nettrace::vol::{VolSample, VolSeries};
@@ -135,6 +136,12 @@ pub struct SessionAnalyzer<'b> {
     /// Flight-recorder sink (disabled unless attached); decision points
     /// emit events keyed by `flow` at tap-clock `ts_base` + flow offset.
     journal: EventSink,
+    /// Span recorder for the Slot/Classifier/Verdict stages.
+    trace: TraceSink,
+    /// Head-based sampling verdict for this flow, resolved once at
+    /// [`SessionAnalyzer::attach_trace`]; sampled-out flows skip even the
+    /// per-slot modulo.
+    trace_sampled: bool,
     flow: u64,
     ts_base: u64,
     pattern_recorded: bool,
@@ -177,6 +184,8 @@ impl<'b> SessionAnalyzer<'b> {
             qoe,
             metrics,
             journal: EventSink::disabled(),
+            trace: TraceSink::disabled(),
+            trace_sampled: false,
             flow: 0,
             ts_base: 0,
             pattern_recorded: false,
@@ -199,6 +208,16 @@ impl<'b> SessionAnalyzer<'b> {
         self.ts_base = ts_base;
     }
 
+    /// Attaches a span recorder: slot closures, the title inference, and
+    /// the session verdict record [`TraceStage`] spans under the flow id
+    /// set by [`attach_journal`](Self::attach_journal) (call that first).
+    /// The sampling decision is made here, once per flow, so sampled-out
+    /// flows pay nothing per slot.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace_sampled = sink.is_enabled() && sink.sampled(self.flow);
+        self.trace = sink;
+    }
+
     /// Tap-clock timestamp of the most recently closed slot boundary.
     fn slot_ts(&self) -> u64 {
         self.ts_base + self.slots_seen as u64 * self.bundle.stage_slot
@@ -214,9 +233,20 @@ impl<'b> SessionAnalyzer<'b> {
 
     /// Runs (and times) the title RF, recording the decision.
     fn classify_title(&mut self, packets: &[Packet]) -> TitlePrediction {
+        let t0 = self.trace_sampled.then(std::time::Instant::now);
         let span = self.metrics.title_infer_ns.span();
         let pred = self.bundle.title.classify(packets);
         span.finish();
+        if let Some(t0) = t0 {
+            let ts = self.ts_base + secs_to_micros(self.config.title_window_secs);
+            self.trace.record(
+                self.flow,
+                0,
+                TraceStage::Classifier,
+                ts,
+                t0.elapsed().as_micros() as u64,
+            );
+        }
         self.metrics.record_title(pred.title, pred.confidence);
         self.title = Some(pred);
         if self.journal.is_enabled() {
@@ -275,12 +305,26 @@ impl<'b> SessionAnalyzer<'b> {
             .push(sample);
         let t1 = sampled.then(std::time::Instant::now);
         let stage = self.bundle.stage.classify(&feats);
+        let slot = (self.slots_seen - 1) as u32;
         if let (Some(t0), Some(t1)) = (t0, t1) {
             let t2 = std::time::Instant::now();
-            self.metrics.feature_ns.record((t1 - t0).as_nanos() as u64);
-            self.metrics
-                .stage_infer_ns
-                .record((t2 - t1).as_nanos() as u64);
+            let feature = (t1 - t0).as_nanos() as u64;
+            let infer = (t2 - t1).as_nanos() as u64;
+            if self.trace_sampled {
+                // Exemplars link these latency buckets to `/trace?flow=`:
+                // a scraper jumps from a slow bucket straight to the
+                // causal chain of the flow that landed in it.
+                let tid = trace_id(self.flow, slot);
+                self.metrics
+                    .feature_ns
+                    .record_with_exemplar(feature, self.flow, tid);
+                self.metrics
+                    .stage_infer_ns
+                    .record_with_exemplar(infer, self.flow, tid);
+            } else {
+                self.metrics.feature_ns.record(feature);
+                self.metrics.stage_infer_ns.record(infer);
+            }
         }
         self.tracker.push(stage, &self.bundle.pattern);
         if !self.pattern_recorded {
@@ -298,6 +342,10 @@ impl<'b> SessionAnalyzer<'b> {
             }
         }
         self.record_slot(stage, sample);
+        if self.trace_sampled {
+            self.trace
+                .record(self.flow, slot, TraceStage::Slot, self.slot_ts(), 0);
+        }
         Some(stage)
     }
 
@@ -474,6 +522,15 @@ impl<'b> SessionAnalyzer<'b> {
                 effective: effective_qoe,
             },
         );
+        if self.trace_sampled {
+            self.trace.record(
+                self.flow,
+                self.slots_seen as u32,
+                TraceStage::Verdict,
+                self.slot_ts(),
+                0,
+            );
+        }
         SessionReport {
             title: self.title.unwrap_or(TitlePrediction {
                 title: None,

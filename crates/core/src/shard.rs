@@ -26,7 +26,7 @@ use nettrace::units::Micros;
 use serde::{Deserialize, Serialize};
 
 use cgc_obs::journal::EventSink;
-use cgc_obs::{Gauge, Registry};
+use cgc_obs::{Gauge, Registry, TraceSink};
 
 use crate::bundle::ModelBundle;
 use crate::metrics::{MonitorMetrics, PipelineMetrics};
@@ -110,12 +110,14 @@ fn shard_worker(
     metrics: MonitorMetrics,
     pipeline_metrics: PipelineMetrics,
     journal: EventSink,
+    trace: TraceSink,
     queue_depth: Arc<Gauge>,
 ) -> (Vec<MonitoredSession>, ShardStats) {
     // The monitor borrows the Arc owned by this stack frame, so the worker
     // is 'static while the models stay shared and read-only.
     let mut monitor = TapMonitor::with_metrics(&bundle, config, metrics, pipeline_metrics);
     monitor.set_journal(journal);
+    monitor.set_trace(trace);
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Batch(mut records) => {
@@ -164,11 +166,12 @@ impl ShardedTapMonitor {
     /// Spawns `config.shards` worker threads over a shared bundle,
     /// recording telemetry into the process-wide registry.
     pub fn new(bundle: Arc<ModelBundle>, config: ShardedMonitorConfig) -> Self {
-        Self::with_registry_and_journal(
+        Self::with_observability(
             bundle,
             config,
             Registry::global(),
             cgc_obs::journal::global_sink(),
+            cgc_obs::trace::global_sink(),
         )
     }
 
@@ -186,11 +189,27 @@ impl ShardedTapMonitor {
 
     /// Spawns the front end with both an isolated registry and a
     /// flight-recorder sink; every shard's monitor emits into `journal`.
+    /// Span tracing stays disabled: use
+    /// [`ShardedTapMonitor::with_observability`] to record stage spans.
     pub fn with_registry_and_journal(
         bundle: Arc<ModelBundle>,
         config: ShardedMonitorConfig,
         registry: &Registry,
         journal: EventSink,
+    ) -> Self {
+        Self::with_observability(bundle, config, registry, journal, TraceSink::disabled())
+    }
+
+    /// Spawns the front end with the full observability set: isolated
+    /// registry, flight-recorder sink, and span recorder. Every shard's
+    /// monitor emits lifecycle events into `journal` and Shard/Slot/
+    /// Classifier/Verdict spans into `trace`.
+    pub fn with_observability(
+        bundle: Arc<ModelBundle>,
+        config: ShardedMonitorConfig,
+        registry: &Registry,
+        journal: EventSink,
+        trace: TraceSink,
     ) -> Self {
         let shards = config.shards.max(1);
         let batch_size = config.batch_size.max(1);
@@ -207,13 +226,14 @@ impl ShardedTapMonitor {
             let mm = monitor_metrics.clone();
             let pm = pipeline_metrics.clone();
             let sink = journal.clone();
+            let tr = trace.clone();
             let rc = recycle_tx.clone();
             let depth = MonitorMetrics::shard_queue_depth(registry, i);
             let worker_depth = Arc::clone(&depth);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tap-shard-{i}"))
-                    .spawn(move || shard_worker(b, mc, rx, rc, mm, pm, sink, worker_depth))
+                    .spawn(move || shard_worker(b, mc, rx, rc, mm, pm, sink, tr, worker_depth))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);

@@ -321,6 +321,23 @@ pub fn telemetry_reporter(
     every: usize,
     emit: &mut dyn FnMut(usize, cgc_obs::Snapshot),
 ) {
+    telemetry_reporter_with_slo(registry, done, total, every, None, &mut |d, delta, _| {
+        emit(d, delta)
+    });
+}
+
+/// [`telemetry_reporter`] with an SLO verdict riding along: each report
+/// boundary also feeds the full snapshot to `slo` (when given) and hands
+/// the evaluated burn-rate report to `emit`, so the heartbeat log carries
+/// ok/degraded/critical next to the counter deltas.
+pub fn telemetry_reporter_with_slo(
+    registry: &cgc_obs::Registry,
+    done: &std::sync::atomic::AtomicUsize,
+    total: usize,
+    every: usize,
+    slo: Option<&cgc_obs::SloHub>,
+    emit: &mut dyn FnMut(usize, cgc_obs::Snapshot, Option<cgc_obs::SloReport>),
+) {
     use std::sync::atomic::Ordering;
     if every == 0 {
         return;
@@ -335,7 +352,8 @@ pub fn telemetry_reporter(
         if d / every > reported {
             reported = d / every;
             let cur = registry.snapshot();
-            emit(d, cur.delta(&prev));
+            let report = slo.map(|hub| hub.observe_and_evaluate(&cur));
+            emit(d, cur.delta(&prev), report);
             prev = cur;
         }
         if d >= total {
@@ -394,15 +412,22 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
         }
         if cfg.telemetry_every > 0 {
             // The reporter exits on its own once every session is done, so
-            // the scope still joins promptly.
+            // the scope still joins promptly. Burn rates run on the wall
+            // clock — the same axis the heartbeat intervals live on.
             scope.spawn(|| {
-                telemetry_reporter(
+                let slo = cgc_obs::SloHub::real_time(cgc_obs::SloConfig::default());
+                telemetry_reporter_with_slo(
                     cgc_obs::Registry::global(),
                     &done,
                     cfg.n_sessions,
                     cfg.telemetry_every,
-                    &mut |d, delta| {
-                        eprintln!("{}", fleet_progress_line(d, cfg.n_sessions, &delta));
+                    Some(&slo),
+                    &mut |d, delta, report| {
+                        let line = fleet_progress_line(d, cfg.n_sessions, &delta);
+                        match report {
+                            Some(r) => eprintln!("{line} [slo {}]", r.health.name()),
+                            None => eprintln!("{line}"),
+                        }
                     },
                 );
             });
@@ -552,6 +577,13 @@ pub struct TapReplayOptions {
     /// (the default) finalizes everything at shutdown instead, keeping
     /// the run byte-identical to the offline batch path.
     pub idle_check: Option<u64>,
+    /// Span tracing for the run: `Some(config)` installs a
+    /// [`TraceCollector`](cgc_obs::TraceCollector) on the run's private
+    /// registry and threads its sink through replay → merge → queues →
+    /// router → shards → pipeline, so [`TapReplayRun::traces`] comes back
+    /// with one causal timeline per sampled flow. `None` (the default)
+    /// keeps every stage's hot path span-free.
+    pub trace: Option<cgc_obs::TraceConfig>,
     /// Cooperative cancellation flag (a Ctrl-C handler sets it); the
     /// replay stops between records and the engine drains gracefully.
     pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
@@ -577,6 +609,22 @@ pub struct TapReplayRun {
     pub handed_off: u64,
     /// Records lost to backpressure (zero under the `block` policy).
     pub dropped: u64,
+    /// Per-flow span timelines, populated when
+    /// [`TapReplayOptions::trace`] was set (empty otherwise): the full
+    /// ingest → merge → queue → router → shard → slot → classifier →
+    /// verdict causal chain of every sampled flow.
+    pub traces: Vec<cgc_obs::TraceTimeline>,
+}
+
+impl TapReplayRun {
+    /// The span timeline recorded for `tuple`'s flow, if any.
+    pub fn trace_for(
+        &self,
+        tuple: &nettrace::packet::FiveTuple,
+    ) -> Option<&cgc_obs::TraceTimeline> {
+        let id = tuple.flow_id();
+        self.traces.iter().find(|t| t.flow == id)
+    }
 }
 
 /// Runs the same tap fleet as [`run_tap_fleet`], but through the live
@@ -624,15 +672,24 @@ pub fn run_tap_feed_replay(
     opts: TapReplayOptions,
 ) -> TapReplayRun {
     use cgc_ingest::{IngestEngine, MonitorSink};
+    use cgc_obs::TraceStage;
 
     let registry = cgc_obs::Registry::new();
+    let (trace_sink, trace_collector) = match opts.trace {
+        Some(config) => {
+            let (sink, collector) = cgc_obs::TraceCollector::new(config, &registry);
+            (sink, Some(collector))
+        }
+        None => (cgc_obs::TraceSink::disabled(), None),
+    };
     let (feed, merge_stats) = cgc_ingest::merge_sources(sources, &opts.merge, Some(&registry));
     let (sink, journal) = cgc_obs::Journal::new(cgc_obs::JournalConfig::default(), &registry);
-    let monitor = cgc_core::ShardedTapMonitor::with_registry_and_journal(
+    let monitor = cgc_core::ShardedTapMonitor::with_observability(
         std::sync::Arc::clone(bundle),
         cgc_core::ShardedMonitorConfig::with_shards(shards),
         &registry,
         sink,
+        trace_sink.clone(),
     );
     let monitor_sink = match opts.idle_check {
         Some(every) => MonitorSink::with_idle_checks(monitor, every),
@@ -640,6 +697,7 @@ pub fn run_tap_feed_replay(
     };
     let mut ingest_cfg = opts.ingest;
     ingest_cfg.clock = Some(std::sync::Arc::clone(&clock));
+    ingest_cfg.trace = trace_sink.clone();
     let engine = IngestEngine::start(monitor_sink, ingest_cfg, &registry);
     let producer = engine.producer();
     let metrics = engine.metrics().clone();
@@ -650,6 +708,16 @@ pub fn run_tap_feed_replay(
         Some(&metrics),
         opts.cancel.as_deref(),
         |record| {
+            if trace_sink.is_enabled() {
+                // The merge fused the stream eagerly up front, but its
+                // spans are stamped here, per record at release time:
+                // stamping the whole feed before replay would flood the
+                // span ring ahead of the first drain and drop every
+                // later stage's spans at pace 0.
+                let flow = record.1.flow_id();
+                trace_sink.record(flow, 0, TraceStage::Merge, record.0, 0);
+                trace_sink.record(flow, 0, TraceStage::Ingest, record.0, 0);
+            }
             producer.push_record(record);
         },
     );
@@ -658,6 +726,12 @@ pub fn run_tap_feed_replay(
     let (mut sessions, _stats) = run.output;
     sessions.sort_by_key(|m| m.started_at);
     let timelines = journal.into_timelines();
+    let traces = trace_collector
+        .map(|mut collector| {
+            collector.drain();
+            collector.into_timelines()
+        })
+        .unwrap_or_default();
     TapReplayRun {
         fleet: TapFleetRun {
             sessions,
@@ -669,6 +743,7 @@ pub fn run_tap_feed_replay(
         enqueued: run.enqueued,
         handed_off: run.handed_off,
         dropped: run.dropped,
+        traces,
     }
 }
 
@@ -819,6 +894,128 @@ mod tests {
                 serde_json::to_string(&b.report).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn replay_traces_reconstruct_full_causal_chains() {
+        use cgc_obs::TraceStage;
+
+        let bundle = std::sync::Arc::new(train_bundle(&TrainConfig::quick()));
+        let cfg = TapFleetConfig {
+            n_sessions: 3,
+            gameplay_secs: 12.0,
+            shards: 2,
+            ..Default::default()
+        };
+        let opts = TapReplayOptions {
+            trace: Some(cgc_obs::TraceConfig {
+                // Per-record stages (ingest/merge/queue/router) hold spans
+                // in the ring until the end-of-run drain; size for it.
+                ring_capacity: 1 << 20,
+                max_spans_per_flow: 1 << 17,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let run = run_tap_fleet_replay(&bundle, &cfg, nettrace::VirtualClock::new().shared(), opts);
+        assert_eq!(run.fleet.sessions.len(), 3);
+        assert_eq!(run.traces.len(), 3, "one timeline per sampled flow");
+        assert_eq!(
+            run.fleet.snapshot.counter("cgc_trace_dropped_spans_total"),
+            Some(0)
+        );
+        for m in &run.fleet.sessions {
+            let tl = run.trace_for(&m.tuple).expect("trace per session");
+            assert!(!tl.truncated);
+            assert_eq!(
+                tl.stages(),
+                vec![
+                    TraceStage::Ingest,
+                    TraceStage::Merge,
+                    TraceStage::Queue,
+                    TraceStage::Router,
+                    TraceStage::Shard,
+                    TraceStage::Slot,
+                    TraceStage::Classifier,
+                    TraceStage::Verdict,
+                ],
+                "every pipeline stage left a span"
+            );
+            let chain = tl.causal_chain();
+            assert_eq!(chain.first().unwrap().stage, TraceStage::Ingest);
+            assert_eq!(chain.last().unwrap().stage, TraceStage::Verdict);
+            // Trace flow ids are journal flow ids: the decision timeline
+            // and the span timeline key to the same normalized hash.
+            assert!(run.fleet.timeline_for(&m.tuple).is_some());
+        }
+        // Without the option, the same run keeps every stage span-free.
+        let quiet = run_tap_fleet_replay(
+            &bundle,
+            &cfg,
+            nettrace::VirtualClock::new().shared(),
+            TapReplayOptions::default(),
+        );
+        assert!(quiet.traces.is_empty());
+        assert_eq!(quiet.fleet.snapshot.counter("cgc_trace_spans_total"), None);
+    }
+
+    #[test]
+    fn telemetry_reporter_with_slo_reports_health_each_boundary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let registry = cgc_obs::Registry::new();
+        let done = AtomicUsize::new(0);
+        // Virtual SLO clock stepped manually so burn windows are exact.
+        let now = std::sync::Arc::new(AtomicUsize::new(1));
+        let now_for_hub = std::sync::Arc::clone(&now);
+        let hub = cgc_obs::SloHub::new(cgc_obs::SloConfig::default(), move || {
+            now_for_hub.load(Ordering::Relaxed) as u64
+        });
+        let dropped = registry.counter("cgc_ingest_dropped_total", "");
+        let accepted = registry.counter("cgc_ingest_enqueued_total", "");
+        let reports: Mutex<Vec<(usize, Option<cgc_obs::SloReport>)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                telemetry_reporter_with_slo(
+                    &registry,
+                    &done,
+                    4,
+                    2,
+                    Some(&hub),
+                    &mut |d, _delta, r| {
+                        reports.lock().unwrap().push((d, r));
+                    },
+                );
+            });
+            accepted.add(1000);
+            done.fetch_add(2, Ordering::Release);
+            while reports.lock().unwrap().is_empty() {
+                std::thread::yield_now();
+            }
+            // A drop burst between heartbeats: 20% of new records lost.
+            now.store(60_000_000, Ordering::Relaxed);
+            accepted.add(1000);
+            dropped.add(250);
+            done.fetch_add(2, Ordering::Release);
+        });
+
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), 2);
+        let first = reports[0].1.as_ref().expect("slo report rides along");
+        assert_eq!(first.health, cgc_obs::Health::Ok);
+        let second = reports[1].1.as_ref().expect("slo report rides along");
+        assert_ne!(
+            second.health,
+            cgc_obs::Health::Ok,
+            "drop burst degrades the heartbeat verdict: {:?}",
+            second
+        );
+        assert!(second
+            .objectives
+            .iter()
+            .any(|o| o.kind == cgc_obs::ObjectiveKind::DropRatio && o.burn_fast >= 1.0));
     }
 
     #[test]

@@ -181,6 +181,45 @@ pub fn journal_table(timelines: &[cgc_obs::FlowTimeline]) -> String {
     table(&["flow", "endpoints", "t(s)", "event", "detail"], &rows)
 }
 
+/// Renders span-trace timelines as a human table: one row per span in
+/// causal order, flows separated in drain order — the operator's answer
+/// to "where did *this* flow spend its pipeline time". The `--trace-table`
+/// companion to [`journal_table`].
+pub fn trace_table(traces: &[cgc_obs::TraceTimeline]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for tl in traces {
+        let flow = cgc_obs::Event::flow_short(tl.flow);
+        for s in tl.causal_chain() {
+            rows.push(vec![
+                flow.clone(),
+                format!("{:016x}", s.trace()),
+                s.slot.to_string(),
+                f(s.ts as f64 / 1e6, 1),
+                s.stage.name().into(),
+                if s.dur_us == 0 {
+                    "-".into()
+                } else {
+                    format!("{}us", s.dur_us)
+                },
+            ]);
+        }
+        if tl.truncated {
+            rows.push(vec![
+                flow.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "(truncated)".into(),
+                "spans past the per-flow cap were dropped".into(),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    table(&["flow", "trace", "slot", "t(s)", "stage", "dur"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +326,28 @@ mod tests {
         assert!(t.contains("closed (drained)"));
         assert!(t.contains("10.0.0.1:49003 -> 100.64.1.1:50000"));
         assert_eq!(journal_table(&[]), "");
+    }
+
+    #[test]
+    fn trace_table_renders_spans_in_causal_order() {
+        use cgc_obs::{TraceCollector, TraceConfig, TraceStage};
+        let registry = cgc_obs::Registry::new();
+        let (sink, mut collector) = TraceCollector::new(TraceConfig::default(), &registry);
+        let flow = 0xabcd_1234u64;
+        // Recorded out of causal order on purpose.
+        sink.record(flow, 3, TraceStage::Slot, 3_000_000, 0);
+        sink.record(flow, 0, TraceStage::Ingest, 100, 0);
+        sink.record(flow, 3, TraceStage::Classifier, 3_500_000, 42);
+        collector.drain();
+        let t = trace_table(collector.timelines());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5, "header + rule + 3 spans:\n{t}");
+        assert!(lines[0].starts_with("flow"));
+        assert!(lines[2].contains("ingest"), "causal order restored:\n{t}");
+        assert!(lines[3].contains("slot"));
+        assert!(lines[4].contains("classifier"));
+        assert!(t.contains("42us"));
+        assert_eq!(trace_table(&[]), "");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::time::Duration;
 
 use cgc_core::monitor::MonitoredSession;
 use cgc_core::shard::{MonitorStats, ShardedTapMonitor, TapRecord};
-use cgc_obs::Registry;
+use cgc_obs::{Registry, TraceSink, TraceStage};
 use nettrace::clock::SharedClock;
 use nettrace::packet::FiveTuple;
 use nettrace::units::Micros;
@@ -216,6 +216,9 @@ pub struct IngestConfig {
     pub batch: BatchPolicy,
     /// Clock driving [`BatchSink::on_tick`]; `None` disables ticks.
     pub clock: Option<SharedClock>,
+    /// Span recorder for the Queue/Router stages; disabled by default —
+    /// a disabled sink is one branch per push, no flow hashing.
+    pub trace: TraceSink,
 }
 
 impl Default for IngestConfig {
@@ -226,6 +229,7 @@ impl Default for IngestConfig {
             policy: BackpressurePolicy::Block,
             batch: BatchPolicy::default(),
             clock: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -240,6 +244,8 @@ struct EngineShared {
     producers: AtomicUsize,
     /// Cleared by shutdown: late pushes are rejected and counted.
     accepting: AtomicBool,
+    /// Queue/Router stage spans (possibly disabled or sampled).
+    trace: TraceSink,
 }
 
 /// A cloneable producer handle. Every clone is tracked; the engine's
@@ -272,6 +278,13 @@ impl IngestProducer {
         }
         if outcome.accepted() {
             shared.metrics.enqueued.inc();
+            if shared.trace.is_enabled() {
+                // Flow hashing only happens with tracing on; the sampled-
+                // out path is the hash plus one modulo, no allocation.
+                shared
+                    .trace
+                    .record(wire_tuple.flow_id(), 0, TraceStage::Queue, ts, 0);
+            }
         }
         outcome.accepted()
     }
@@ -374,7 +387,11 @@ impl<S: BatchSink> IngestEngine<S> {
             metrics,
             producers: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
+            trace: config.trace.clone(),
         });
+        if let Some(q) = shared.queues.first() {
+            shared.metrics.queue_capacity.set(q.capacity() as i64);
+        }
         let router_shared = Arc::clone(&shared);
         let batch = config.batch;
         let clock = config.clock.clone();
@@ -479,6 +496,13 @@ fn router_loop<S: BatchSink>(
             shared.metrics.queue_depth[i].set(queue.len() as i64);
             if !buf.is_empty() {
                 shared.metrics.batch_size.record(buf.len() as u64);
+                if shared.trace.is_enabled() {
+                    for &(ts, tuple, _) in &buf {
+                        shared
+                            .trace
+                            .record(tuple.flow_id(), 0, TraceStage::Router, ts, 0);
+                    }
+                }
                 sink.on_batch(&buf);
                 handed += buf.len() as u64;
             }
@@ -714,6 +738,60 @@ mod tests {
         let hist = snap.histogram("cgc_ingest_batch_size").unwrap();
         assert_eq!(hist.sum, 10_000);
         assert!(hist.max <= 64, "adaptive max bounds every batch");
+    }
+
+    #[test]
+    fn trace_sink_records_queue_and_router_spans() {
+        use cgc_obs::{TraceCollector, TraceConfig};
+        let registry = Registry::new();
+        let (trace, mut collector) = TraceCollector::new(TraceConfig::default(), &registry);
+        let engine = IngestEngine::start(
+            VecSink(Vec::new()),
+            IngestConfig {
+                queues: 1,
+                queue_capacity: 64,
+                trace,
+                ..Default::default()
+            },
+            &registry,
+        );
+        let producer = engine.producer();
+        let flow = tuple(1).flow_id();
+        for i in 0..10u64 {
+            assert!(producer.push(i, &tuple(1), 1200));
+        }
+        drop(producer);
+        engine.shutdown();
+        collector.drain();
+        let timeline = collector.timeline(flow).expect("flow traced");
+        let queue_spans = timeline
+            .spans
+            .iter()
+            .filter(|s| s.stage == TraceStage::Queue)
+            .count();
+        let router_spans = timeline
+            .spans
+            .iter()
+            .filter(|s| s.stage == TraceStage::Router)
+            .count();
+        assert_eq!(queue_spans, 10, "one queue span per admitted record");
+        assert_eq!(router_spans, 10, "one router span per handed-off record");
+        // The capacity gauge reflects the power-of-two rounded queue size.
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("cgc_ingest_queue_capacity"), Some(64));
+        assert_eq!(snap.counter("cgc_trace_spans_total"), Some(20));
+    }
+
+    #[test]
+    fn disabled_trace_sink_records_nothing() {
+        let registry = Registry::new();
+        let engine = IngestEngine::start(VecSink(Vec::new()), IngestConfig::default(), &registry);
+        let producer = engine.producer();
+        assert!(producer.push(1, &tuple(1), 100));
+        drop(producer);
+        engine.shutdown();
+        // No trace families were touched: the counter was never registered.
+        assert_eq!(registry.snapshot().counter("cgc_trace_spans_total"), None);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct IngestMetrics {
     pub rejected_closed: Arc<Counter>,
     /// Per-shard queue depth gauges, indexed by shard id.
     pub queue_depth: Vec<Arc<Gauge>>,
+    /// Slots per queue shard (set once at engine start); saturation is
+    /// `max(queue_depth) / queue_capacity`, consumed by `/healthz` and
+    /// the SLO engine.
+    pub queue_capacity: Arc<Gauge>,
     /// Router sweeps that handed at least one record to the monitor.
     pub batches: Arc<Counter>,
     /// Size of each non-empty batch the router handed to the sink — under
@@ -79,6 +83,10 @@ impl IngestMetrics {
                 "Pushes rejected because the ingest engine was shutting down",
             ),
             queue_depth,
+            queue_capacity: registry.gauge(
+                "cgc_ingest_queue_capacity",
+                "Slots per ingest queue shard (power-of-two rounded)",
+            ),
             batches: registry.counter(
                 "cgc_ingest_batches_total",
                 "Router sweeps that handed records to the monitor",

@@ -113,21 +113,39 @@ fn render_histogram(
         .position(|&(_, c)| c > 0)
         .unwrap_or(boundaries.len());
     let start = first_nonzero.saturating_sub(1);
+    // OpenMetrics exemplar: attached to the first rendered bucket whose
+    // `le` covers the exemplar value (falling through to `+Inf`), so a
+    // scraper can jump from a latency bucket to `/trace?flow=`.
+    let exemplar_text = h.exemplar.map(|e| {
+        format!(
+            " # {{flow=\"{:016x}\",trace=\"{:016x}\"}} {}",
+            e.flow, e.trace, e.value
+        )
+    });
+    let mut exemplar_pending = exemplar_text.as_deref();
     for &(le, c) in &boundaries[start..] {
+        let attach = match exemplar_pending {
+            Some(_) if h.exemplar.is_some_and(|e| e.value <= le) => {
+                exemplar_pending.take().unwrap_or("")
+            }
+            _ => "",
+        };
         let _ = writeln!(
             out,
-            "{}_bucket{} {}",
+            "{}_bucket{} {}{}",
             name,
             label_block(labels, Some(("le", &le.to_string()))),
-            c
+            c,
+            attach
         );
     }
     let _ = writeln!(
         out,
-        "{}_bucket{} {}",
+        "{}_bucket{} {}{}",
         name,
         label_block(labels, Some(("le", "+Inf"))),
-        h.count
+        h.count,
+        exemplar_pending.take().unwrap_or("")
     );
     let _ = writeln!(out, "{}_sum{} {}", name, label_block(labels, None), h.sum);
     let _ = writeln!(
@@ -188,6 +206,27 @@ mod tests {
             assert!(c >= prev, "non-monotonic: {line}");
             prev = c;
         }
+    }
+
+    #[test]
+    fn prometheus_attaches_exemplar_to_covering_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("cgc_demo_latency_us", "Latency");
+        h.record(5);
+        h.record_with_exemplar(100, 0xab, 0xcd);
+        let text = prometheus(&r.snapshot());
+        let exemplar_lines: Vec<&str> = text.lines().filter(|l| l.contains(" # {")).collect();
+        assert_eq!(exemplar_lines.len(), 1, "exactly one exemplar: {text}");
+        let line = exemplar_lines[0];
+        // Attached to the first bucket with le >= 100 (le="127").
+        assert!(
+            line.starts_with("cgc_demo_latency_us_bucket{le=\"127\"}"),
+            "{line}"
+        );
+        assert!(
+            line.ends_with("# {flow=\"00000000000000ab\",trace=\"00000000000000cd\"} 100"),
+            "{line}"
+        );
     }
 
     #[test]

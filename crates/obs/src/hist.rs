@@ -7,7 +7,7 @@
 //! handful of relaxed atomic adds and never allocates — the bucket array
 //! is allocated once at construction.
 
-use crate::snapshot::{HistBucket, HistogramSnapshot};
+use crate::snapshot::{ExemplarSnapshot, HistBucket, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Exact buckets for values `0..=15`.
@@ -70,6 +70,15 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Seqlock-style exemplar cell: `exemplar_seq` is 0 until the first
+    /// write, odd while a write is in flight, even when the value/flow/
+    /// trace triple is consistent. Writers skip (last-write-wins is
+    /// approximate anyway) rather than spin, so the hot path stays
+    /// lock-free.
+    exemplar_seq: AtomicU64,
+    exemplar_value: AtomicU64,
+    exemplar_flow: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -88,6 +97,10 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar_seq: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_flow: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -99,6 +112,58 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record one sample and attach it as the histogram's exemplar: the
+    /// `(flow, trace)` identity lets an OpenMetrics scrape resolve a
+    /// latency bucket back to a `/trace` timeline. Sampled call sites
+    /// only — the plain [`Histogram::record`] path is untouched.
+    pub fn record_with_exemplar(&self, v: u64, flow: u64, trace: u64) {
+        self.record(v);
+        self.write_exemplar(v, flow, trace);
+    }
+
+    /// Write the exemplar cell without touching the sample counts.
+    fn write_exemplar(&self, v: u64, flow: u64, trace: u64) {
+        let seq = self.exemplar_seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            return; // another writer is mid-flight; theirs wins
+        }
+        if self
+            .exemplar_seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.exemplar_value.store(v, Ordering::Relaxed);
+        self.exemplar_flow.store(flow, Ordering::Relaxed);
+        self.exemplar_trace.store(trace, Ordering::Relaxed);
+        self.exemplar_seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// The most recently attached exemplar, if any call site ever
+    /// attached one and a consistent read is available right now.
+    pub fn exemplar(&self) -> Option<ExemplarSnapshot> {
+        for _ in 0..8 {
+            let before = self.exemplar_seq.load(Ordering::Acquire);
+            if before == 0 {
+                return None; // never written
+            }
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue; // write in flight
+            }
+            let snap = ExemplarSnapshot {
+                value: self.exemplar_value.load(Ordering::Relaxed),
+                flow: self.exemplar_flow.load(Ordering::Relaxed),
+                trace: self.exemplar_trace.load(Ordering::Relaxed),
+            };
+            if self.exemplar_seq.load(Ordering::Acquire) == before {
+                return Some(snap);
+            }
+        }
+        None // writers kept winning; exemplars are best-effort
     }
 
     /// Number of recorded samples.
@@ -127,6 +192,9 @@ impl Histogram {
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let Some(e) = other.exemplar() {
+            self.write_exemplar(e.value, e.flow, e.trace);
+        }
     }
 
     /// Capture the current contents as an immutable snapshot, keeping
@@ -151,6 +219,7 @@ impl Histogram {
             min: if count == 0 { 0 } else { min },
             max: self.max.load(Ordering::Relaxed),
             buckets,
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -291,6 +360,76 @@ mod tests {
                 "q{q}: est {est} vs exact {exact} (tolerance {tolerance})"
             );
         }
+    }
+
+    #[test]
+    fn exemplar_is_last_write_wins_and_consistent() {
+        let h = Histogram::new();
+        assert!(h.exemplar().is_none(), "no exemplar before first write");
+        assert!(h.snapshot().exemplar.is_none());
+        h.record_with_exemplar(120, 0xf10, 0x71c);
+        h.record_with_exemplar(450, 0xf20, 0x72c);
+        let e = h.exemplar().expect("exemplar after writes");
+        assert_eq!(e.value, 450);
+        assert_eq!(e.flow, 0xf20);
+        assert_eq!(e.trace, 0x72c);
+        // The samples themselves landed in the ordinary buckets.
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 570);
+        assert_eq!(s.exemplar, Some(e));
+    }
+
+    #[test]
+    fn merge_carries_the_exemplar_without_touching_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        b.record_with_exemplar(99, 5, 6);
+        a.merge_from(&b);
+        let e = a.exemplar().expect("merged exemplar");
+        assert_eq!((e.value, e.flow, e.trace), (99, 5, 6));
+        assert_eq!(a.count(), 1, "only the real sample was merged");
+        assert_eq!(a.sum(), 99);
+    }
+
+    #[test]
+    fn concurrent_exemplar_writers_never_tear() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        // Keep (value, flow, trace) correlated so a torn
+                        // read is detectable.
+                        let v = t * PER + i;
+                        h.record_with_exemplar(v, v + 1, v + 2);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..50_000 {
+                    if let Some(e) = h.exemplar() {
+                        assert_eq!(e.flow, e.value + 1, "torn exemplar: {e:?}");
+                        assert_eq!(e.trace, e.value + 2, "torn exemplar: {e:?}");
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        reader.join().unwrap();
+        let e = h.exemplar().expect("quiescent read always succeeds");
+        assert_eq!(e.flow, e.value + 1);
     }
 
     #[test]

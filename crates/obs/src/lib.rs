@@ -21,6 +21,11 @@
 //!    ring; a [`Journal`] consumer materializes per-flow decision
 //!    timelines, and [`serve::TelemetryServer`] exposes `/metrics`,
 //!    `/healthz`, and `/journal` over plain HTTP with zero dependencies.
+//! 5. **Causal tracing and health, linked to the metrics.** Stage
+//!    boundaries record [`trace::SpanRecord`]s through a sampled
+//!    [`TraceSink`] into a second lock-free ring (`/trace`, exemplars
+//!    on latency histograms), and [`slo::SloEngine`] evaluates rolling
+//!    multi-window burn rates behind `/healthz` and `/slo`.
 //!
 //! ```
 //! use cgc_obs::{export, Registry};
@@ -47,14 +52,22 @@ pub mod journal;
 pub mod metric;
 pub mod registry;
 pub mod serve;
+pub mod slo;
 pub mod snapshot;
 pub mod timer;
+pub mod trace;
 
 pub use event::{CloseCause, Event, EventKind, EventRing, FlowAddr};
 pub use hist::Histogram;
 pub use journal::{EventSink, FlowTimeline, Journal, JournalConfig, JournalPump};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
-pub use serve::TelemetryServer;
-pub use snapshot::{HistBucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
+pub use serve::{ServeOptions, TelemetryServer};
+pub use slo::{Health, Objective, ObjectiveKind, SloConfig, SloEngine, SloHub, SloReport};
+pub use snapshot::{
+    ExemplarSnapshot, HistBucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot,
+};
 pub use timer::{span, Span};
+pub use trace::{
+    SpanRecord, TraceCollector, TraceConfig, TracePump, TraceSink, TraceStage, TraceTimeline,
+};

@@ -283,6 +283,74 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_order_is_independent_of_registration_order() {
+        // Golden-diffing Prometheus scrapes only works if two processes
+        // that register the same series in different orders render byte-
+        // identical output.
+        let forward = Registry::new();
+        forward.counter("z_total", "z").add(1);
+        forward
+            .counter_with("m_total", "m", &[("shard", "1")])
+            .add(2);
+        forward
+            .counter_with("m_total", "m", &[("shard", "0")])
+            .add(3);
+        forward.gauge("a_depth", "a").set(4);
+        forward.histogram("h_us", "h").record(5);
+
+        let reverse = Registry::new();
+        reverse.histogram("h_us", "h").record(5);
+        reverse.gauge("a_depth", "a").set(4);
+        reverse
+            .counter_with("m_total", "m", &[("shard", "0")])
+            .add(3);
+        reverse
+            .counter_with("m_total", "m", &[("shard", "1")])
+            .add(2);
+        reverse.counter("z_total", "z").add(1);
+
+        let fwd = forward.snapshot();
+        let rev = reverse.snapshot();
+        assert_eq!(fwd, rev);
+        assert_eq!(
+            crate::export::prometheus(&fwd),
+            crate::export::prometheus(&rev)
+        );
+        // And label sets within one family come out sorted.
+        let shards: Vec<&str> = fwd
+            .metrics
+            .iter()
+            .filter(|m| m.name == "m_total")
+            .map(|m| m.labels[0].1.as_str())
+            .collect();
+        assert_eq!(shards, ["0", "1"]);
+    }
+
+    #[test]
+    fn repeated_snapshots_keep_a_stable_order() {
+        let r = Registry::new();
+        for i in 0..16 {
+            r.counter_with("stable_total", "s", &[("shard", &i.to_string())])
+                .inc();
+        }
+        let first: Vec<_> = r
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|m| (m.name.clone(), m.labels.clone()))
+            .collect();
+        for _ in 0..4 {
+            let again: Vec<_> = r
+                .snapshot()
+                .metrics
+                .iter()
+                .map(|m| (m.name.clone(), m.labels.clone()))
+                .collect();
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
     fn poisoned_lock_does_not_wedge_the_registry() {
         let r = Arc::new(Registry::new());
         r.counter("survives_total", "s").add(5);

@@ -4,10 +4,18 @@
 //! operator with `curl` — deliberately not an async stack. Routes:
 //!
 //! - `GET /metrics` — live registry snapshot, Prometheus text exposition
-//! - `GET /healthz` — `ok`
+//!   (histograms carry OpenMetrics exemplars when traced call sites
+//!   attached them)
+//! - `GET /healthz` — `ok` / `degraded: …` / `critical: …`; critical
+//!   answers HTTP 503 so external probes work unmodified. With an
+//!   [`SloHub`] the verdict is the multi-window burn-rate evaluation;
+//!   without one it falls back to cumulative drop/saturation counters.
 //! - `GET /journal` — flight-recorder timelines as JSONL (one flow per
 //!   line); `?flow=<hex id>` narrows to one timeline, `?tail=N` returns
 //!   the N most recent events (one event per line) instead
+//! - `GET /trace` — span timelines as JSONL (one flow per line);
+//!   `?flow=<hex id>` narrows to one flow, `?slot=N` to one slot's spans
+//! - `GET /slo` — the full burn-rate report as JSON (404 without a hub)
 //!
 //! The snapshot comes from a caller-supplied closure so the server works
 //! against the global registry, a private fleet registry, or anything
@@ -23,7 +31,30 @@ use std::time::Duration;
 
 use crate::export;
 use crate::journal::{lock_journal, Journal};
+use crate::slo::{Health, SloHub};
 use crate::snapshot::Snapshot;
+use crate::trace::{lock_collector, TraceCollector};
+
+/// Optional backends for the non-metrics routes.
+#[derive(Default)]
+pub struct ServeOptions {
+    /// Backs `/journal`; the route answers 404 when absent.
+    pub journal: Option<Arc<Mutex<Journal>>>,
+    /// Backs `/trace`; the route answers 404 when absent.
+    pub trace: Option<Arc<Mutex<TraceCollector>>>,
+    /// Backs `/slo` and upgrades `/healthz` to burn-rate evaluation.
+    pub slo: Option<Arc<SloHub>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("journal", &self.journal.is_some())
+            .field("trace", &self.trace.is_some())
+            .field("slo", &self.slo.is_some())
+            .finish()
+    }
+}
 
 /// A running telemetry endpoint; drops cleanly when it goes out of scope.
 pub struct TelemetryServer {
@@ -44,6 +75,26 @@ impl TelemetryServer {
     where
         F: Fn() -> Snapshot + Send + 'static,
     {
+        Self::spawn_with(
+            addr,
+            snapshot,
+            ServeOptions {
+                journal,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// [`TelemetryServer::spawn`] with the full backend set: journal,
+    /// trace collector, and SLO hub.
+    pub fn spawn_with<F>(
+        addr: &str,
+        snapshot: F,
+        options: ServeOptions,
+    ) -> std::io::Result<TelemetryServer>
+    where
+        F: Fn() -> Snapshot + Send + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -59,7 +110,7 @@ impl TelemetryServer {
                     // A stalled client must not wedge the single thread.
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-                    handle_conn(&mut stream, &snapshot, journal.as_deref());
+                    handle_conn(&mut stream, &snapshot, &options);
                 }
             })?;
         Ok(TelemetryServer {
@@ -94,11 +145,7 @@ impl std::fmt::Debug for TelemetryServer {
     }
 }
 
-fn handle_conn<F: Fn() -> Snapshot>(
-    stream: &mut TcpStream,
-    snapshot: &F,
-    journal: Option<&Mutex<Journal>>,
-) {
+fn handle_conn<F: Fn() -> Snapshot>(stream: &mut TcpStream, snapshot: &F, options: &ServeOptions) {
     let Some(target) = read_request_target(stream) else {
         return;
     };
@@ -112,13 +159,42 @@ fn handle_conn<F: Fn() -> Snapshot>(
             "text/plain; version=0.0.4",
             export::prometheus(&snapshot()),
         ),
-        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-        "/journal" => match journal {
+        "/healthz" => {
+            let (health, body) = healthz(snapshot, options);
+            let status = if health == Health::Critical {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, "text/plain", body)
+        }
+        "/slo" => match &options.slo {
+            Some(hub) => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&hub.observe_and_evaluate(&snapshot()))
+                    .expect("slo report serialization is infallible"),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no slo engine installed\n".to_string(),
+            ),
+        },
+        "/journal" => match &options.journal {
             Some(j) => ("200 OK", "application/jsonl", journal_body(j, query)),
             None => (
                 "404 Not Found",
                 "text/plain",
                 "no journal installed\n".to_string(),
+            ),
+        },
+        "/trace" => match &options.trace {
+            Some(t) => ("200 OK", "application/jsonl", trace_body(t, query)),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no trace collector installed\n".to_string(),
             ),
         },
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
@@ -157,6 +233,86 @@ fn read_request_target(stream: &mut TcpStream) -> Option<String> {
         return None;
     }
     Some(target.to_string())
+}
+
+/// Cumulative-counter fallback thresholds for `/healthz` without an SLO
+/// hub: crude by design (lifetime ratios, no windows) but enough to turn
+/// real drop storms and saturated queues into non-ok probes.
+const FALLBACK_DROP_DEGRADED: f64 = 0.001;
+const FALLBACK_DROP_CRITICAL: f64 = 0.05;
+const FALLBACK_SATURATION_DEGRADED: f64 = 0.9;
+
+fn healthz<F: Fn() -> Snapshot>(snapshot: &F, options: &ServeOptions) -> (Health, String) {
+    if let Some(hub) = &options.slo {
+        let report = hub.observe_and_evaluate(&snapshot());
+        return (report.health, report.healthz_body());
+    }
+    let snap = snapshot();
+    let mut health = Health::Ok;
+    let mut reasons: Vec<String> = Vec::new();
+    let dropped: u64 = crate::slo::DROP_COUNTERS
+        .iter()
+        .filter_map(|n| snap.counter(n))
+        .sum();
+    let accepted: u64 = crate::slo::ACCEPT_COUNTERS
+        .iter()
+        .filter_map(|n| snap.counter(n))
+        .sum();
+    let total = dropped + accepted;
+    if total > 0 && dropped > 0 {
+        let ratio = dropped as f64 / total as f64;
+        if ratio >= FALLBACK_DROP_CRITICAL {
+            health = health.max(Health::Critical);
+            reasons.push(format!("drop ratio {:.1}% (cumulative)", ratio * 100.0));
+        } else if ratio >= FALLBACK_DROP_DEGRADED {
+            health = health.max(Health::Degraded);
+            reasons.push(format!("drop ratio {:.2}% (cumulative)", ratio * 100.0));
+        }
+    }
+    let capacity = snap.gauge("cgc_ingest_queue_capacity").unwrap_or(0);
+    if capacity > 0 {
+        let deepest = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "cgc_ingest_queue_depth")
+            .filter_map(|m| match m.value {
+                crate::snapshot::MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let saturation = deepest.max(0) as f64 / capacity as f64;
+        if saturation >= 1.0 {
+            health = health.max(Health::Critical);
+            reasons.push(format!("queue saturated ({deepest}/{capacity})"));
+        } else if saturation >= FALLBACK_SATURATION_DEGRADED {
+            health = health.max(Health::Degraded);
+            reasons.push(format!("queue near capacity ({deepest}/{capacity})"));
+        }
+    }
+    let body = match health {
+        Health::Ok => "ok\n".to_string(),
+        h => format!("{}: {}\n", h.name(), reasons.join("; ")),
+    };
+    (health, body)
+}
+
+fn trace_body(trace: &Mutex<TraceCollector>, query: &str) -> String {
+    let mut collector = lock_collector(trace);
+    collector.drain();
+    let mut flow = None;
+    let mut slot = None;
+    for kv in query.split('&') {
+        if let Some(id) = kv.strip_prefix("flow=") {
+            flow = u64::from_str_radix(id.trim_start_matches("0x"), 16)
+                .or_else(|_| id.parse::<u64>())
+                .ok();
+        }
+        if let Some(s) = kv.strip_prefix("slot=") {
+            slot = s.parse::<u32>().ok();
+        }
+    }
+    collector.to_jsonl_filtered(flow, slot)
 }
 
 fn journal_body(journal: &Mutex<Journal>, query: &str) -> String {
@@ -247,6 +403,221 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    fn raw_request(addr: std::net::SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    }
+
+    #[test]
+    fn malformed_request_lines_get_no_response() {
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let addr = server.local_addr();
+        // Wrong method, missing target, binary garbage: the server drops
+        // the connection without answering (and without dying).
+        assert_eq!(raw_request(addr, b"POST /metrics HTTP/1.1\r\n\r\n"), "");
+        assert_eq!(raw_request(addr, b"GET\r\n\r\n"), "");
+        assert_eq!(raw_request(addr, b"\xff\xfe\x00garbage\r\n\r\n"), "");
+        assert_eq!(raw_request(addr, b"no newline at all"), "");
+        // And it still serves well-formed requests afterwards.
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn oversized_query_strings_are_rejected() {
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let addr = server.local_addr();
+        let huge = format!("GET /metrics?x={} HTTP/1.1\r\n\r\n", "y".repeat(4096));
+        assert_eq!(raw_request(addr, huge.as_bytes()), "");
+        // A query just inside the request-line budget still answers.
+        let ok = format!(
+            "GET /healthz?x={} HTTP/1.1\r\nHost: x\r\n\r\n",
+            "y".repeat(500)
+        );
+        assert!(raw_request(addr, ok.as_bytes()).starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn healthz_fallback_wires_drop_and_saturation_counters() {
+        use crate::slo::{SloConfig, SloHub};
+        // Degraded: a visible but sub-critical cumulative drop ratio.
+        let registry = Arc::new(Registry::new());
+        registry.counter("cgc_ingest_enqueued_total", "t").add(999);
+        registry.counter("cgc_ingest_dropped_total", "t").add(5);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, body) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("degraded: drop ratio"), "{body}");
+        drop(server);
+
+        // Critical: a drop storm answers 503 so external probes trip.
+        let registry = Arc::new(Registry::new());
+        registry.counter("cgc_ingest_enqueued_total", "t").add(100);
+        registry.counter("cgc_ingest_dropped_total", "t").add(50);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, body) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(body.starts_with("critical:"), "{body}");
+        drop(server);
+
+        // Saturated queue gauges trip it too, independent of drops.
+        let registry = Arc::new(Registry::new());
+        registry.gauge("cgc_ingest_queue_capacity", "c").set(100);
+        registry
+            .gauge_with("cgc_ingest_queue_depth", "d", &[("shard", "0")])
+            .set(95);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, body) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("degraded: queue near capacity"), "{body}");
+        drop(server);
+
+        // An SLO hub takes over: windowed evaluation, not lifetime ratios.
+        let registry = Arc::new(Registry::new());
+        registry.counter("cgc_ingest_enqueued_total", "t").add(100);
+        let reg = Arc::clone(&registry);
+        let hub = Arc::new(SloHub::real_time(SloConfig::default()));
+        let server = TelemetryServer::spawn_with(
+            "127.0.0.1:0",
+            move || reg.snapshot(),
+            ServeOptions {
+                slo: Some(hub),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let (head, body) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, slo) = get(server.local_addr(), "/slo");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(slo.contains("\"status\":\"ok\""), "{slo}");
+        assert!(slo.contains("\"objective\":\"drop_ratio\""), "{slo}");
+    }
+
+    #[test]
+    fn trace_route_serves_filtered_spans() {
+        use crate::trace::{TraceCollector, TraceConfig, TraceStage};
+        let registry = Arc::new(Registry::new());
+        let (sink, traces) = TraceCollector::new(TraceConfig::default(), &registry);
+        sink.record(0xf00, 0, TraceStage::Queue, 10, 0);
+        sink.record(0xf00, 2, TraceStage::Slot, 20, 5);
+        sink.record(0xba5, 0, TraceStage::Queue, 15, 0);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn_with(
+            "127.0.0.1:0",
+            move || reg.snapshot(),
+            ServeOptions {
+                trace: Some(Arc::new(Mutex::new(traces))),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.lines().count(), 2, "{body}");
+        let (_, one) = get(addr, "/trace?flow=f00");
+        assert_eq!(one.lines().count(), 1, "{one}");
+        assert!(one.contains("\"flow\":\"0000000000000f00\""), "{one}");
+        let (_, slot) = get(addr, "/trace?flow=f00&slot=2");
+        assert!(slot.contains("\"stage\":\"slot\""), "{slot}");
+        assert!(!slot.contains("\"stage\":\"queue\""), "{slot}");
+        let (_, missing) = get(addr, "/trace?flow=dead");
+        assert!(missing.is_empty(), "{missing}");
+    }
+
+    #[test]
+    fn trace_route_404s_without_a_collector() {
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, _) = get(server.local_addr(), "/trace");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = get(server.local_addr(), "/slo");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn concurrent_scrapes_while_producers_drain() {
+        use crate::trace::{TraceCollector, TraceConfig, TraceStage};
+        const FLOWS: u64 = 40;
+        const EVENTS_PER_FLOW: u64 = 5;
+        let registry = Arc::new(Registry::new());
+        let (esink, journal) = Journal::new(JournalConfig::default(), &registry);
+        let (tsink, traces) = TraceCollector::new(TraceConfig::default(), &registry);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn_with(
+            "127.0.0.1:0",
+            move || reg.snapshot(),
+            ServeOptions {
+                journal: Some(Arc::new(Mutex::new(journal))),
+                trace: Some(Arc::new(Mutex::new(traces))),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let writers: Vec<_> = [0u64, 1]
+            .into_iter()
+            .map(|half| {
+                let esink = esink.clone();
+                let tsink = tsink.clone();
+                std::thread::spawn(move || {
+                    for flow in (half * FLOWS / 2)..((half + 1) * FLOWS / 2) {
+                        for i in 0..EVENTS_PER_FLOW {
+                            esink.emit(flow, i, EventKind::LaunchWindowClosed { packets: 1 });
+                            tsink.record(flow, 0, TraceStage::Queue, i, 0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Scrape both drain routes while the writers are mid-flight: the
+        // per-request drains and the producers race on the rings.
+        let scrapers: Vec<_> = ["/journal", "/trace"]
+            .into_iter()
+            .map(|route| {
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        write!(stream, "GET {route} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                        let mut response = String::new();
+                        stream.read_to_string(&mut response).unwrap();
+                        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for s in scrapers {
+            s.join().unwrap();
+        }
+        // After the writers finish, one more scrape sees every flow —
+        // nothing was lost to the concurrent drains.
+        let (_, body) = get(addr, "/journal");
+        assert_eq!(body.lines().count(), FLOWS as usize, "{body}");
+        let (_, body) = get(addr, "/trace");
+        assert_eq!(body.lines().count(), FLOWS as usize, "{body}");
     }
 
     #[test]

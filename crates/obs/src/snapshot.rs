@@ -18,6 +18,19 @@ pub struct HistBucket {
     pub count: u64,
 }
 
+/// The most recent exemplar attached to a histogram: one concrete sample
+/// with the flow/trace identity that produced it, linking a latency
+/// bucket back to a reconstructable `/trace` timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExemplarSnapshot {
+    /// The exemplar's sample value (same unit as the histogram).
+    pub value: u64,
+    /// Flow id of the sample's flow.
+    pub flow: u64,
+    /// Trace id (`trace::trace_id(flow, slot)`) of the sample's span.
+    pub trace: u64,
+}
+
 /// Immutable capture of a histogram's contents.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
@@ -31,6 +44,8 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty buckets, ascending by `lo`.
     pub buckets: Vec<HistBucket>,
+    /// Most recent exemplar, when a traced call site attached one.
+    pub exemplar: Option<ExemplarSnapshot>,
 }
 
 impl HistogramSnapshot {
@@ -88,10 +103,12 @@ impl HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
             // min/max are lifetime extremes; an interval delta keeps the
-            // current ones as the best available approximation.
+            // current ones as the best available approximation. The
+            // exemplar is last-write-wins, so the current one stands.
             min: self.min,
             max: self.max,
             buckets,
+            exemplar: self.exemplar,
         }
     }
 }
@@ -287,6 +304,7 @@ mod tests {
                 hi: 11,
                 count: 1,
             }],
+            exemplar: None,
         };
         let now = HistogramSnapshot {
             count: 3,
@@ -305,12 +323,18 @@ mod tests {
                     count: 2,
                 },
             ],
+            exemplar: Some(ExemplarSnapshot {
+                value: 30,
+                flow: 7,
+                trace: 9,
+            }),
         };
         let d = now.delta(&old);
         assert_eq!(d.count, 1);
         assert_eq!(d.sum, 30);
         assert_eq!(d.buckets.len(), 1);
         assert_eq!(d.buckets[0].lo, 30);
+        assert_eq!(d.exemplar, now.exemplar, "delta keeps the live exemplar");
     }
 
     #[test]
@@ -331,6 +355,11 @@ mod tests {
                     hi: 6,
                     count: 1,
                 }],
+                exemplar: Some(ExemplarSnapshot {
+                    value: 5,
+                    flow: 0xabc,
+                    trace: 0xdef,
+                }),
             }),
         });
         let text = serde_json::to_string(&s).unwrap();

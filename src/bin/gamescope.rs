@@ -18,9 +18,11 @@
 //! The flight recorder rides along the same way: `--journal <path|->`
 //! dumps per-flow decision timelines as JSONL on exit, `--journal-table`
 //! prints them as a human table on stderr, and `--serve <addr>` runs a
-//! live telemetry endpoint (`/metrics`, `/healthz`, `/journal`) for the
-//! duration of the command — with an off-thread journal pump keeping
-//! `/journal` fresh while the command runs.
+//! live telemetry endpoint (`/metrics`, `/healthz`, `/slo`, `/journal`,
+//! `/trace`) for the duration of the command — with an off-thread
+//! journal pump keeping `/journal` fresh while the command runs.
+//! `--trace-sample 1/8` span-traces one flow in eight end to end through
+//! the pipeline; `--trace-table` prints the sampled timelines on exit.
 //!
 //! `fleet --replay` switches from offline batch analysis to the live
 //! ingestion path: the capture (a pcap file, `sim` for a generated
@@ -36,7 +38,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gamescope::deploy::fleet::{build_tap_feed, run_fleet, FleetConfig, TapFleetConfig};
-use gamescope::deploy::report::{journal_table, metrics_table};
+use gamescope::deploy::report::{journal_table, metrics_table, trace_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
 use gamescope::ingest::{
@@ -140,9 +142,15 @@ OPTIONS (all subcommands):
   --journal <path|->   dump flight-recorder timelines as JSONL on exit:
                        '-' prints to stdout, anything else writes the path
   --journal-table      print the timelines as an aligned table on stderr
-  --serve <addr>       serve GET /metrics, /healthz and /journal over HTTP
-                       (e.g. 127.0.0.1:9090; port 0 picks a free port)
-                       while the command runs
+  --trace-sample <n>   span-trace 1-in-n flows end to end through the
+                       pipeline (ingest, merge, queue, router, shard,
+                       slot, classifier, verdict); accepts '8' or '1/8'
+  --trace-table        print sampled span timelines as an aligned table
+                       on stderr (implies --trace-sample 1 unless given)
+  --serve <addr>       serve GET /metrics, /healthz, /slo, /journal and
+                       /trace (filter with ?flow=<hex>&slot=<n>) over
+                       HTTP (e.g. 127.0.0.1:9090; port 0 picks a free
+                       port) while the command runs
 ";
 
 /// Removes `--name <value>` from `args`, returning the value.
@@ -171,6 +179,18 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
 
 fn parse<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("{name}: cannot parse {v:?}"))
+}
+
+/// Parses a `--trace-sample` spec: `8` and `1/8` both mean "trace one
+/// flow in eight".
+fn parse_sample(v: &str) -> Result<u64, String> {
+    let tail = v.strip_prefix("1/").unwrap_or(v);
+    match tail.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "--trace-sample: {v:?} is not a rate (use a positive N or 1/N)"
+        )),
+    }
 }
 
 /// Splits a merge `--input` spec `path[@signed_offset_us]`: the signed
@@ -452,6 +472,13 @@ fn cmd_fleet_replay(
             );
         }
     }
+    // With a global trace collector installed (--trace-sample /
+    // --trace-table), the replay closure below stamps the pre-pipeline
+    // stages per record at release time. The merge already ran eagerly
+    // above, but stamping the whole feed here would flood the span ring
+    // ahead of the pump's first drain and drop every later stage's
+    // spans at pace 0.
+    let trace_sink = obs::trace::global_sink();
     let monitor = ShardedTapMonitor::new(
         Arc::new(bundle),
         ShardedMonitorConfig {
@@ -461,6 +488,7 @@ fn cmd_fleet_replay(
     );
     let clock: gamescope::trace::SharedClock = Arc::new(RealClock::new());
     ingest_cfg.clock = Some(Arc::clone(&clock));
+    ingest_cfg.trace = trace_sink.clone();
     let engine = IngestEngine::start(MonitorSink::new(monitor), ingest_cfg, registry);
     let producer = engine.producer();
     let metrics = engine.metrics().clone();
@@ -471,6 +499,11 @@ fn cmd_fleet_replay(
         Some(&metrics),
         Some(&sig::INTERRUPTED),
         |record| {
+            if trace_sink.is_enabled() {
+                let flow = record.1.flow_id();
+                trace_sink.record(flow, 0, obs::TraceStage::Merge, record.0, 0);
+                trace_sink.record(flow, 0, obs::TraceStage::Ingest, record.0, 0);
+            }
             producer.push_record(record);
         },
     );
@@ -614,6 +647,14 @@ fn main() -> ExitCode {
         }
     };
     let verbose_journal = take_flag(&mut args, "--journal-table");
+    let trace_sample = match take_value(&mut args, "--trace-sample") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verbose_trace = take_flag(&mut args, "--trace-table");
     let serve_addr = match take_value(&mut args, "--serve") {
         Ok(t) => t,
         Err(e) => {
@@ -638,6 +679,40 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // Span tracing is opt-in (--trace-sample / --trace-table): every
+    // monitor, analyzer and ingest engine built after this records spans
+    // for the sampled flows into the global trace ring.
+    let trace = if trace_sample.is_some() || verbose_trace {
+        let sample = match trace_sample.as_deref().map(parse_sample).transpose() {
+            Ok(s) => s.unwrap_or(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Some(obs::trace::install_global(obs::TraceConfig {
+            // The CLI replay path stamps four transport spans per record
+            // (merge/ingest/queue/router); an unpaced replay produces
+            // them faster than a default-sized ring absorbs between
+            // drains, so size the ring for burst headroom here.
+            ring_capacity: 1 << 18,
+            ..obs::TraceConfig::default().with_sample(sample)
+        }))
+    } else {
+        None
+    };
+    // An off-thread pump keeps the span ring drained for the duration of
+    // the command — without it, the per-record transport stages fill the
+    // ring long before exit and later stages count as drops. The short
+    // interval matters at `--pace 0`: the replay can push the whole feed
+    // between two slow ticks.
+    let _trace_pump = trace.as_ref().map(|collector| {
+        obs::TracePump::start(
+            Arc::clone(collector),
+            std::time::Duration::from_millis(25),
+            obs::Registry::global(),
+        )
+    });
     // With a live endpoint, an off-thread pump keeps /journal fresh while
     // the command runs instead of draining only at scrape/exit time.
     let _pump = match (&journal, &serve_addr) {
@@ -652,14 +727,22 @@ fn main() -> ExitCode {
     // when `main` returns.
     let _server = match &serve_addr {
         Some(addr) => {
-            match obs::TelemetryServer::spawn(
+            let options = obs::ServeOptions {
+                journal: journal.clone(),
+                trace: trace.clone(),
+                // Burn-rate evaluation on the wall clock backs /slo and
+                // upgrades /healthz from the cumulative-counter fallback.
+                slo: Some(Arc::new(obs::SloHub::real_time(obs::SloConfig::default()))),
+            };
+            match obs::TelemetryServer::spawn_with(
                 addr,
                 || obs::Registry::global().snapshot(),
-                journal.clone(),
+                options,
             ) {
                 Ok(server) => {
                     eprintln!(
-                        "telemetry: serving /metrics /healthz /journal on http://{}",
+                        "telemetry: serving /metrics /healthz /slo /journal{} on http://{}",
+                        if trace.is_some() { " /trace" } else { "" },
                         server.local_addr()
                     );
                     Some(server)
@@ -686,9 +769,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Stop the pump (final drain included) before snapshotting, so the
-    // metrics and journal output below see the complete event stream.
+    // Stop the pumps (final drain included) before snapshotting, so the
+    // metrics, journal and trace output below see the complete streams.
     drop(_pump);
+    drop(_trace_pump);
     let snapshot = obs::Registry::global().snapshot();
     if verbose_metrics {
         eprintln!("\n{}", metrics_table(&snapshot));
@@ -700,6 +784,14 @@ fn main() -> ExitCode {
         }
         if target != "-" {
             eprintln!("metrics snapshot written to {target}");
+        }
+    }
+
+    if let Some(trace) = &trace {
+        let mut collector = obs::trace::lock_collector(trace);
+        collector.drain();
+        if verbose_trace {
+            eprintln!("\n{}", trace_table(collector.timelines()));
         }
     }
 
