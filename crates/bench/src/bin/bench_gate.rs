@@ -19,6 +19,11 @@
 //!   held against `BENCH_forest.json`'s committed monitor number, and
 //!   their self-normalized ratio: the observability layer must stay free
 //!   when it is off.
+//! * **Monitor drift-observation overhead** — the same serial monitor
+//!   with a live drift sink attached (every inference pushes one score
+//!   observation into the lock-free drift ring), self-normalized against
+//!   the sink-absent run: the quality observatory must ride along within
+//!   tolerance.
 //!
 //! Absolute throughput numbers (records/s, raw ns) are machine-dependent
 //! and deliberately **not** gated — a faster or slower CI box would make
@@ -35,7 +40,8 @@
 use std::time::Instant;
 
 use cgc_bench::forestperf::{
-    measure_inference, measure_monitor, measure_monitor_traced, ForestSnapshot,
+    measure_inference, measure_monitor, measure_monitor_drifted, measure_monitor_traced,
+    ForestSnapshot,
 };
 use cgc_ingest::{merge_sources, split_round_robin, MergeConfig, MergeSource};
 use nettrace::packet::FiveTuple;
@@ -202,6 +208,21 @@ fn main() {
     gate.check(
         "monitor sampled-out/disabled throughput ratio",
         sampled_out.records_per_sec / untraced.records_per_sec,
+        1.0,
+    );
+
+    // --- Monitor throughput under drift observation ------------------------
+    // The quality observatory's hot-path cost: a live drift sink makes
+    // every title/stage inference push one score observation into a
+    // lock-free ring. Self-normalized against the sink-absent run above —
+    // the observatory must ride along within tolerance.
+    eprintln!(
+        "monitor throughput under drift observation (fresh measurement, best of {MONITOR_REPS}):"
+    );
+    let drifted = measure_monitor_drifted(MONITOR_REPS);
+    gate.check(
+        "monitor drift-sink installed/absent throughput ratio",
+        drifted.records_per_sec / untraced.records_per_sec,
         1.0,
     );
 

@@ -216,7 +216,7 @@ fn monitor_feed() -> Vec<(Micros, FiveTuple, u32)> {
 /// Trains a quick bundle and replays the interleaved 10 k-flow feed
 /// through a serial [`TapMonitor`], best-of-`reps`.
 pub fn measure_monitor(reps: usize) -> MonitorPerf {
-    measure_monitor_with_sink(reps, None)
+    measure_monitor_with_sinks(reps, None, None)
 }
 
 /// [`measure_monitor`] with span tracing attached at `1/sample` head
@@ -229,17 +229,34 @@ pub fn measure_monitor_traced(reps: usize, sample: u64) -> MonitorPerf {
         cgc_obs::TraceConfig::default().with_sample(sample),
         &registry,
     );
-    measure_monitor_with_sink(reps, Some(sink))
+    measure_monitor_with_sinks(reps, Some(sink), None)
 }
 
-fn measure_monitor_with_sink(reps: usize, sink: Option<cgc_obs::TraceSink>) -> MonitorPerf {
+/// [`measure_monitor`] with a live drift sink attached, so every title
+/// and stage inference also pushes a score observation into the drift
+/// ring. The perf gate holds this against the sink-absent number: the
+/// observatory must ride along for near-free.
+pub fn measure_monitor_drifted(reps: usize) -> MonitorPerf {
+    let registry = cgc_obs::Registry::new();
+    let (sink, _engine) = cgc_obs::DriftEngine::new(cgc_obs::DriftConfig::default(), &registry);
+    measure_monitor_with_sinks(reps, None, Some(sink))
+}
+
+fn measure_monitor_with_sinks(
+    reps: usize,
+    trace: Option<cgc_obs::TraceSink>,
+    drift: Option<cgc_obs::DriftSink>,
+) -> MonitorPerf {
     let bundle = Arc::new(train_bundle(&TrainConfig::quick()));
     let feed = monitor_feed();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut monitor = TapMonitor::new(&bundle, MonitorConfig::default());
-        if let Some(sink) = &sink {
+        if let Some(sink) = &trace {
             monitor.set_trace(sink.clone());
+        }
+        if let Some(sink) = &drift {
+            monitor.set_drift(sink.clone());
         }
         let start = Instant::now();
         for (ts, tuple, len) in &feed {

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use cgc_obs::drift::DriftSink;
 use cgc_obs::event::{CloseCause, EventKind};
 use cgc_obs::journal::EventSink;
 use cgc_obs::{TraceSink, TraceStage};
@@ -170,6 +171,9 @@ pub struct TapMonitor<'b> {
     /// Span recorder handed to every flow's analyzer; the monitor itself
     /// records the Shard hand-off span at flow admission.
     trace: TraceSink,
+    /// Drift-score sink handed to every flow's analyzer (disabled by
+    /// default on injected-registry monitors; `new` wires the global one).
+    drift: DriftSink,
     /// Wheel-scan count already published to the registry counter.
     expiry_published: u64,
 }
@@ -188,6 +192,7 @@ impl<'b> TapMonitor<'b> {
         // the process-wide journal (free until one is installed).
         monitor.set_journal(cgc_obs::journal::global_sink());
         monitor.set_trace(cgc_obs::trace::global_sink());
+        monitor.set_drift(cgc_obs::drift::global_sink());
         monitor
     }
 
@@ -232,6 +237,7 @@ impl<'b> TapMonitor<'b> {
             pipeline_metrics,
             journal: EventSink::disabled(),
             trace: TraceSink::disabled(),
+            drift: DriftSink::disabled(),
             expiry_published: 0,
         }
     }
@@ -247,6 +253,14 @@ impl<'b> TapMonitor<'b> {
     /// into `sink`. Flows admitted before the call keep their old sink.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Routes classifier score observations (confidence + margin, from
+    /// every subsequently admitted flow's inferences) into `sink` for
+    /// label-free drift detection. Flows admitted before the call keep
+    /// their old sink.
+    pub fn set_drift(&mut self, sink: DriftSink) {
+        self.drift = sink;
     }
 
     /// Replaces the clock behind [`finish_idle_now`](Self::finish_idle_now):
@@ -294,6 +308,7 @@ impl<'b> TapMonitor<'b> {
                 );
                 analyzer.attach_journal(self.journal.clone(), flow_id, ts);
                 analyzer.attach_trace(self.trace.clone());
+                analyzer.attach_drift(self.drift.clone());
                 let entry = FlowEntry {
                     analyzer,
                     key,

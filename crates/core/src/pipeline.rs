@@ -17,8 +17,10 @@
 //! (`analyze`) — the latter is what deployment-scale runs use.
 
 use cgc_domain::{ActivityPattern, QoeLevel, Stage};
+use cgc_obs::drift::DriftSink;
 use cgc_obs::event::EventKind;
 use cgc_obs::journal::EventSink;
+use cgc_obs::quality::ModelKind;
 use cgc_obs::trace::{trace_id, TraceSink, TraceStage};
 use nettrace::packet::Packet;
 use nettrace::units::{secs_to_micros, Micros};
@@ -138,6 +140,11 @@ pub struct SessionAnalyzer<'b> {
     journal: EventSink,
     /// Span recorder for the Slot/Classifier/Verdict stages.
     trace: TraceSink,
+    /// Label-free drift sink: every inference's (confidence, margin)
+    /// score pair, for reference-vs-current distribution comparison.
+    /// Disabled unless attached — one branch and zero allocation per
+    /// slot when no drift engine is installed.
+    drift: DriftSink,
     /// Head-based sampling verdict for this flow, resolved once at
     /// [`SessionAnalyzer::attach_trace`]; sampled-out flows skip even the
     /// per-slot modulo.
@@ -185,6 +192,7 @@ impl<'b> SessionAnalyzer<'b> {
             metrics,
             journal: EventSink::disabled(),
             trace: TraceSink::disabled(),
+            drift: DriftSink::disabled(),
             trace_sampled: false,
             flow: 0,
             ts_base: 0,
@@ -218,6 +226,13 @@ impl<'b> SessionAnalyzer<'b> {
         self.trace = sink;
     }
 
+    /// Attaches a drift sink: the title inference, every classified
+    /// slot's stage inference, and the pattern decision each emit one
+    /// (confidence, margin) score observation to the drift engine.
+    pub fn attach_drift(&mut self, sink: DriftSink) {
+        self.drift = sink;
+    }
+
     /// Tap-clock timestamp of the most recently closed slot boundary.
     fn slot_ts(&self) -> u64 {
         self.ts_base + self.slots_seen as u64 * self.bundle.stage_slot
@@ -235,8 +250,10 @@ impl<'b> SessionAnalyzer<'b> {
     fn classify_title(&mut self, packets: &[Packet]) -> TitlePrediction {
         let t0 = self.trace_sampled.then(std::time::Instant::now);
         let span = self.metrics.title_infer_ns.span();
-        let pred = self.bundle.title.classify(packets);
+        let (pred, margin) = self.bundle.title.classify_scored(packets);
         span.finish();
+        self.drift
+            .observe(ModelKind::Title, pred.confidence, margin);
         if let Some(t0) = t0 {
             let ts = self.ts_base + secs_to_micros(self.config.title_window_secs);
             self.trace.record(
@@ -304,7 +321,26 @@ impl<'b> SessionAnalyzer<'b> {
             .expect("extractor initialized")
             .push(sample);
         let t1 = sampled.then(std::time::Instant::now);
-        let stage = self.bundle.stage.classify(&feats);
+        let stage = if self.drift.is_enabled() {
+            // One probability pass yields both the argmax stage and the
+            // drift signal; same flat-forest walk, same stack buffer, so
+            // enabling drift adds no allocation to the slot loop.
+            let p = self.bundle.stage.probabilities(&feats);
+            let (mut best, mut runner_up) = (0usize, 0.0f64);
+            for (i, &v) in p.iter().enumerate() {
+                if v > p[best] {
+                    runner_up = p[best];
+                    best = i;
+                } else if v > runner_up && i != best {
+                    runner_up = v;
+                }
+            }
+            self.drift
+                .observe(ModelKind::Stage, p[best], (p[best] - runner_up).max(0.0));
+            crate::stage::STAGE_CLASSES[best]
+        } else {
+            self.bundle.stage.classify(&feats)
+        };
         let slot = (self.slots_seen - 1) as u32;
         if let (Some(t0), Some(t1)) = (t0, t1) {
             let t2 = std::time::Instant::now();
@@ -331,6 +367,13 @@ impl<'b> SessionAnalyzer<'b> {
             if let Some(d) = self.tracker.decision() {
                 self.metrics.record_pattern(d.pattern, d.confidence);
                 self.pattern_recorded = true;
+                // Two-class model: margin is top minus runner-up, i.e.
+                // 2·confidence − 1 for any confidence ≥ 0.5.
+                self.drift.observe(
+                    ModelKind::Pattern,
+                    d.confidence,
+                    (2.0 * d.confidence - 1.0).max(0.0),
+                );
                 self.journal.emit(
                     self.flow,
                     self.slot_ts(),
@@ -732,6 +775,43 @@ pub(crate) mod tests {
             300_000, // does not divide 1 s evenly
         );
         a.analyze(&[], &vol);
+    }
+
+    #[test]
+    fn drift_sink_observes_every_model_without_changing_decisions() {
+        use cgc_obs::drift::{DriftConfig, DriftEngine};
+        use cgc_obs::Registry;
+        let bundle = tiny_bundle();
+        let s = session(7);
+
+        let mut plain =
+            SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+        plain.analyze(&s.packets, &s.vol);
+        let r_plain = plain.finish();
+
+        let registry = Registry::new();
+        let (sink, mut engine) = DriftEngine::new(DriftConfig::default(), &registry);
+        let mut drifted =
+            SessionAnalyzer::new(&bundle, AnalyzerConfig::default(), QoeInputs::default());
+        drifted.attach_drift(sink);
+        drifted.analyze(&s.packets, &s.vol);
+        let r_drift = drifted.finish();
+
+        // The probability-pass stage path must agree with the plain
+        // classify path, slot for slot.
+        assert_eq!(r_plain.stage_slots, r_drift.stage_slots);
+        assert_eq!(r_plain.title, r_drift.title);
+
+        // One title observation, one per classified (non-seed) slot, and
+        // at most one pattern observation reached the engine.
+        engine.drain();
+        let snap = registry.snapshot();
+        let total = snap.counter("cgc_drift_observations_total").unwrap();
+        let classified = r_drift.stage_slots.len() as u64 - 10; // seed slots emit nothing
+        assert!(
+            total == 1 + classified || total == 2 + classified,
+            "observations {total}, classified slots {classified}"
+        );
     }
 
     #[test]

@@ -109,23 +109,43 @@ impl TitleClassifier {
 
     /// Classifies from a pre-extracted attribute vector.
     pub fn classify_features(&self, attrs: &[f64]) -> TitlePrediction {
+        self.classify_features_scored(attrs).0
+    }
+
+    /// [`classify_features`](Self::classify_features) plus the top-1
+    /// margin (top vote share minus runner-up share) — the label-free
+    /// drift signal, computed from the same probability pass at no extra
+    /// inference cost.
+    pub fn classify_features_scored(&self, attrs: &[f64]) -> (TitlePrediction, f64) {
         let mut proba = vec![0.0f64; self.flat.n_classes()];
         self.flat.predict_proba_into(attrs, &mut proba);
         let best = argmax(&proba);
         let conf = proba.get(best).copied().unwrap_or(0.0);
-        TitlePrediction {
+        let runner_up = proba
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best)
+            .map(|(_, &p)| p)
+            .fold(0.0f64, f64::max);
+        let prediction = TitlePrediction {
             title: (conf >= self.config.confidence_threshold)
                 .then(|| GameTitle::from_index(best))
                 .flatten(),
             confidence: conf,
-        }
+        };
+        (prediction, (conf - runner_up).max(0.0))
     }
 
     /// Classifies from the raw packets of a flow's first seconds
     /// (timestamps relative to flow start).
     pub fn classify(&self, packets: &[Packet]) -> TitlePrediction {
+        self.classify_scored(packets).0
+    }
+
+    /// [`classify`](Self::classify) plus the top-1 margin.
+    pub fn classify_scored(&self, packets: &[Packet]) -> (TitlePrediction, f64) {
         let attrs = launch_attributes(packets, &self.config.attr);
-        self.classify_features(&attrs)
+        self.classify_features_scored(&attrs)
     }
 
     /// The attribute configuration the model was trained with.

@@ -264,8 +264,36 @@ fn run_one(
     // runs have no five-tuple hash), timestamped from the arrival instant.
     let mut analyzer = SessionAnalyzer::new(bundle, AnalyzerConfig::default(), qoe);
     analyzer.attach_journal(cgc_obs::journal::global_sink(), id, arrival);
+    analyzer.attach_drift(cgc_obs::drift::global_sink());
     analyzer.analyze(&session.packets, &session.vol);
     let report = analyzer.finish();
+
+    // Truth join: the fleet simulator withholds the ground-truth labels
+    // ("server logs") from the pipeline, then streams (truth, predicted)
+    // pairs into the quality hub here — per session for title/pattern,
+    // per slot for stage. Free when no hub is installed.
+    let quality = cgc_obs::quality::global_sink();
+    if quality.is_enabled() {
+        use cgc_obs::quality::{pattern_class, stage_class, title_class, ModelKind};
+        quality.emit(
+            ModelKind::Title,
+            title_class(kind.known()),
+            title_class(report.title.title),
+        );
+        if let Some((predicted, _)) = report.final_pattern {
+            quality.emit(
+                ModelKind::Pattern,
+                pattern_class(kind.pattern()),
+                pattern_class(predicted),
+            );
+        }
+        for (i, &predicted) in report.stage_slots.iter().enumerate() {
+            let mid = i as u64 * report.slot_width + report.slot_width / 2;
+            if let Some(truth) = session.timeline.stage_at(mid) {
+                quality.emit(ModelKind::Stage, stage_class(truth), stage_class(predicted));
+            }
+        }
+    }
 
     SessionRecord {
         id,
@@ -351,6 +379,11 @@ pub fn telemetry_reporter_with_slo(
         let d = done.load(Ordering::Acquire);
         if d / every > reported {
             reported = d / every;
+            // Drain any installed quality/drift globals first so the
+            // snapshot below carries current accuracy and drift gauges
+            // (the SLO bridge and the heartbeat line both read them).
+            cgc_obs::quality::sync_global();
+            cgc_obs::drift::sync_global();
             let cur = registry.snapshot();
             let report = slo.map(|hub| hub.observe_and_evaluate(&cur));
             emit(d, cur.delta(&prev), report);

@@ -220,6 +220,47 @@ pub fn trace_table(traces: &[cgc_obs::TraceTimeline]) -> String {
     table(&["flow", "trace", "slot", "t(s)", "stage", "dur"], &rows)
 }
 
+/// Renders a streaming classification-quality report as an aligned text
+/// table: per model a `(all)` summary row (window size, accuracy, macro
+/// recall), then one row per class with support, precision and recall —
+/// the `--quality` companion to [`metrics_table`], and the same numbers
+/// `/quality` serves as JSON.
+pub fn quality_table(report: &cgc_obs::QualityReport) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for m in &report.models {
+        rows.push(vec![
+            m.model.clone(),
+            "(all)".into(),
+            m.samples.to_string(),
+            pct(m.accuracy),
+            pct(m.macro_recall),
+        ]);
+        for c in m.classes.iter().filter(|c| c.support > 0) {
+            rows.push(vec![
+                m.model.clone(),
+                c.class.clone(),
+                c.support.to_string(),
+                pct(c.precision),
+                pct(c.recall),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = table(
+        &["model", "class", "samples", "precision/acc", "recall/macro"],
+        &rows,
+    );
+    if report.shed > 0 {
+        out.push_str(&format!(
+            "({} labeled pairs shed at the ring; scores are sampled)\n",
+            report.shed
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +389,31 @@ mod tests {
         assert!(lines[4].contains("classifier"));
         assert!(t.contains("42us"));
         assert_eq!(trace_table(&[]), "");
+    }
+
+    #[test]
+    fn quality_table_renders_summary_and_class_rows() {
+        use cgc_obs::quality::{ModelKind, QualityConfig, QualityHub};
+        let registry = cgc_obs::Registry::new();
+        let (sink, mut hub) = QualityHub::new(QualityConfig::default(), &registry);
+        for _ in 0..3 {
+            sink.emit(ModelKind::Stage, 0, 0);
+        }
+        sink.emit(ModelKind::Stage, 1, 0);
+        hub.drain_and_sync();
+        let t = quality_table(&hub.report());
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("model"), "{t}");
+        // Three (all) rows — one per model — plus the two stage classes
+        // with support.
+        assert_eq!(t.matches("(all)").count(), 3, "{t}");
+        assert!(t.contains("75.0%"), "{t}");
+        assert!(!t.contains("shed"), "{t}");
+        let empty = cgc_obs::QualityReport {
+            shed: 0,
+            models: Vec::new(),
+        };
+        assert_eq!(quality_table(&empty), "");
     }
 
     #[test]

@@ -22,17 +22,46 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
+    /// An empty matrix ready for incremental [`record`](Self::record)
+    /// calls — the streaming form of [`from_pairs`](Self::from_pairs).
+    pub fn new(n_classes: usize) -> ConfusionMatrix {
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![vec![0usize; n_classes]; n_classes],
+        }
+    }
+
     /// Builds the matrix from parallel truth/prediction slices.
     ///
     /// # Panics
     /// Panics on length mismatch or labels ≥ `n_classes`.
     pub fn from_pairs(n_classes: usize, truth: &[usize], pred: &[usize]) -> ConfusionMatrix {
         assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
-        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        let mut m = ConfusionMatrix::new(n_classes);
         for (&t, &p) in truth.iter().zip(pred) {
-            counts[t][p] += 1;
+            m.record(t, p);
         }
-        ConfusionMatrix { n_classes, counts }
+        m
+    }
+
+    /// Counts one (truth, prediction) pair.
+    ///
+    /// # Panics
+    /// Panics when either label is ≥ `n_classes`.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        self.counts[truth][pred] += 1;
+    }
+
+    /// Removes one previously recorded (truth, prediction) pair — the
+    /// sliding-window companion of [`record`](Self::record).
+    ///
+    /// # Panics
+    /// Panics when the pair was never recorded (its cell is 0) or either
+    /// label is ≥ `n_classes`.
+    pub fn forget(&mut self, truth: usize, pred: usize) {
+        let cell = &mut self.counts[truth][pred];
+        assert!(*cell > 0, "forgetting a pair that was never recorded");
+        *cell -= 1;
     }
 
     /// Count of samples with truth `t` predicted as `p`.
@@ -246,6 +275,89 @@ mod tests {
         assert!(s.contains("only-one"));
         assert!(s.contains('?'));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn single_class_batch_scores() {
+        // Every sample is one class, all predicted right: that class has
+        // perfect recall/precision, every other class scores zero without
+        // polluting accuracy or macro recall.
+        let m = ConfusionMatrix::from_pairs(4, &[2, 2, 2, 2], &[2, 2, 2, 2]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(2), 1.0);
+        assert_eq!(m.precision(2), 1.0);
+        assert_eq!(m.macro_recall(), 1.0, "absent classes are ignored");
+        for c in [0, 1, 3] {
+            assert_eq!(m.recall(c), 0.0);
+            assert_eq!(m.precision(c), 0.0);
+        }
+        // Same batch entirely misclassified into an absent class: the
+        // absent class gets predictions (precision 0 via the diagonal)
+        // while the true class keeps recall 0.
+        let wrong = ConfusionMatrix::from_pairs(4, &[2, 2, 2], &[0, 0, 0]);
+        assert_eq!(wrong.accuracy(), 0.0);
+        assert_eq!(wrong.recall(2), 0.0);
+        assert_eq!(
+            wrong.precision(0),
+            0.0,
+            "no class-0 truth to be right about"
+        );
+        assert_eq!(wrong.macro_recall(), 0.0);
+    }
+
+    #[test]
+    fn absent_class_recall_does_not_nan() {
+        // A class that never appears in truth must score 0, not NaN, for
+        // every derived metric — the streaming gauges publish these raw.
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1, 0, 1], &[0, 1, 1, 1]);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+        assert!(m.recall(2).is_finite() && m.precision(2).is_finite());
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        // The streaming path folds record() one pair at a time; it must
+        // land on exactly the matrix from_pairs builds in one shot.
+        let truth = [0, 3, 1, 1, 2, 0, 3, 3, 2, 1, 0, 2];
+        let pred = [0, 3, 1, 2, 2, 1, 3, 0, 2, 1, 0, 2];
+        let batch = ConfusionMatrix::from_pairs(4, &truth, &pred);
+        let mut streaming = ConfusionMatrix::new(4);
+        for (&t, &p) in truth.iter().zip(&pred) {
+            streaming.record(t, p);
+        }
+        assert_eq!(streaming, batch);
+        assert_eq!(streaming.accuracy(), batch.accuracy());
+        assert_eq!(streaming.macro_recall(), batch.macro_recall());
+    }
+
+    #[test]
+    fn sliding_window_forget_equals_suffix_rebuild() {
+        // record() everything then forget() the prefix: identical to
+        // building from the suffix alone — the invariant the rolling
+        // quality windows rely on.
+        let truth = [0, 1, 2, 0, 1, 2, 2, 1, 0];
+        let pred = [0, 1, 0, 0, 2, 2, 2, 1, 1];
+        let cut = 4;
+        let mut rolling = ConfusionMatrix::new(3);
+        for (&t, &p) in truth.iter().zip(&pred) {
+            rolling.record(t, p);
+        }
+        for (&t, &p) in truth[..cut].iter().zip(&pred[..cut]) {
+            rolling.forget(t, p);
+        }
+        let suffix = ConfusionMatrix::from_pairs(3, &truth[cut..], &pred[cut..]);
+        assert_eq!(rolling, suffix);
+        assert_eq!(rolling.total(), truth.len() - cut);
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn forget_of_unrecorded_pair_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.forget(0, 1);
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
             MetricValue::Histogram(h) => render_histogram(&mut out, &m.name, &m.labels, h),
         }
     }
+    // Exemplars are an OpenMetrics feature, and OpenMetrics requires the
+    // exposition to end with an explicit EOF marker — a truncated scrape
+    // must be distinguishable from a complete one. Plain Prometheus text
+    // (no exemplars anywhere) keeps the historical unterminated format.
+    let has_exemplars = snapshot.metrics.iter().any(|m| match &m.value {
+        MetricValue::Histogram(h) => h.exemplar.is_some(),
+        _ => false,
+    });
+    if has_exemplars {
+        out.push_str("# EOF\n");
+    }
     out
 }
 
@@ -227,6 +238,20 @@ mod tests {
             line.ends_with("# {flow=\"00000000000000ab\",trace=\"00000000000000cd\"} 100"),
             "{line}"
         );
+    }
+
+    #[test]
+    fn exposition_ends_with_eof_only_when_exemplars_present() {
+        // No exemplars: historical Prometheus text, no terminator.
+        let plain = prometheus(&sample_registry().snapshot());
+        assert!(!plain.contains("# EOF"), "{plain}");
+        // With an exemplar the scrape is OpenMetrics and must terminate.
+        let r = Registry::new();
+        r.histogram("cgc_demo_lat_ns", "Latency")
+            .record_with_exemplar(100, 0xab, 0xcd);
+        let text = prometheus(&r.snapshot());
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        assert_eq!(text.matches("# EOF").count(), 1, "{text}");
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!    [`TraceSink`] into a second lock-free ring (`/trace`, exemplars
 //!    on latency histograms), and [`slo::SloEngine`] evaluates rolling
 //!    multi-window burn rates behind `/healthz` and `/slo`.
+//! 6. **Model quality is a metric too.** Where ground truth exists,
+//!    [`quality::QualityHub`] turns streamed (predicted, truth) pairs
+//!    into rolling per-class accuracy/precision/recall gauges; where it
+//!    doesn't, [`drift::DriftEngine`] watches the classifiers' own score
+//!    distributions for PSI/KS drift and unknown-title novelty
+//!    (`/quality`, `/drift`, and two quality SLO objectives).
 //!
 //! ```
 //! use cgc_obs::{export, Registry};
@@ -45,11 +51,14 @@
 
 #![warn(missing_docs)]
 
+pub mod build;
+pub mod drift;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod journal;
 pub mod metric;
+pub mod quality;
 pub mod registry;
 pub mod serve;
 pub mod slo;
@@ -57,10 +66,13 @@ pub mod snapshot;
 pub mod timer;
 pub mod trace;
 
+pub use build::BuildInfo;
+pub use drift::{DriftConfig, DriftEngine, DriftReport, DriftSink};
 pub use event::{CloseCause, Event, EventKind, EventRing, FlowAddr};
 pub use hist::Histogram;
 pub use journal::{EventSink, FlowTimeline, Journal, JournalConfig, JournalPump};
 pub use metric::{Counter, Gauge};
+pub use quality::{ModelKind, QualityConfig, QualityHub, QualityReport, QualitySink};
 pub use registry::Registry;
 pub use serve::{ServeOptions, TelemetryServer};
 pub use slo::{Health, Objective, ObjectiveKind, SloConfig, SloEngine, SloHub, SloReport};

@@ -16,6 +16,10 @@
 //! - `GET /trace` — span timelines as JSONL (one flow per line);
 //!   `?flow=<hex id>` narrows to one flow, `?slot=N` to one slot's spans
 //! - `GET /slo` — the full burn-rate report as JSON (404 without a hub)
+//! - `GET /quality` — streaming confusion-telemetry report as JSON
+//!   (rolling accuracy/precision/recall per model; 404 without a hub)
+//! - `GET /drift` — label-free drift report as JSON (PSI/KS/novelty per
+//!   model; 404 without an engine)
 //!
 //! The snapshot comes from a caller-supplied closure so the server works
 //! against the global registry, a private fleet registry, or anything
@@ -29,8 +33,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::build::BuildInfo;
+use crate::drift::{lock_engine, DriftEngine};
 use crate::export;
 use crate::journal::{lock_journal, Journal};
+use crate::quality::{lock_hub, QualityHub};
 use crate::slo::{Health, SloHub};
 use crate::snapshot::Snapshot;
 use crate::trace::{lock_collector, TraceCollector};
@@ -44,6 +51,15 @@ pub struct ServeOptions {
     pub trace: Option<Arc<Mutex<TraceCollector>>>,
     /// Backs `/slo` and upgrades `/healthz` to burn-rate evaluation.
     pub slo: Option<Arc<SloHub>>,
+    /// Backs `/quality`; the route answers 404 when absent. Drained and
+    /// re-synced before every response so scraped gauges are current.
+    pub quality: Option<Arc<Mutex<QualityHub>>>,
+    /// Backs `/drift`; the route answers 404 when absent. Drained and
+    /// re-synced before every response.
+    pub drift: Option<Arc<Mutex<DriftEngine>>>,
+    /// Appends the build line to `/healthz` and keeps the uptime gauge
+    /// fresh on every request.
+    pub build: Option<Arc<BuildInfo>>,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -52,6 +68,9 @@ impl std::fmt::Debug for ServeOptions {
             .field("journal", &self.journal.is_some())
             .field("trace", &self.trace.is_some())
             .field("slo", &self.slo.is_some())
+            .field("quality", &self.quality.is_some())
+            .field("drift", &self.drift.is_some())
+            .field("build", &self.build.is_some())
             .finish()
     }
 }
@@ -153,6 +172,18 @@ fn handle_conn<F: Fn() -> Snapshot>(stream: &mut TcpStream, snapshot: &F, option
         Some((p, q)) => (p, q),
         None => (target.as_str(), ""),
     };
+    // Bring derived gauges up to date before any snapshot is taken, so
+    // `/metrics`, `/healthz`, and the SLO bridge all see current
+    // quality/drift scores and uptime — not the last request's.
+    if let Some(build) = &options.build {
+        build.sync();
+    }
+    if let Some(quality) = &options.quality {
+        lock_hub(quality).drain_and_sync();
+    }
+    if let Some(drift) = &options.drift {
+        lock_engine(drift).drain_and_sync();
+    }
     let (status, content_type, body) = match path {
         "/metrics" => (
             "200 OK",
@@ -179,6 +210,32 @@ fn handle_conn<F: Fn() -> Snapshot>(stream: &mut TcpStream, snapshot: &F, option
                 "404 Not Found",
                 "text/plain",
                 "no slo engine installed\n".to_string(),
+            ),
+        },
+        "/quality" => match &options.quality {
+            Some(hub) => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&lock_hub(hub).report())
+                    .expect("quality report serialization is infallible"),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no quality telemetry installed\n".to_string(),
+            ),
+        },
+        "/drift" => match &options.drift {
+            Some(engine) => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&lock_engine(engine).report())
+                    .expect("drift report serialization is infallible"),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no drift engine installed\n".to_string(),
             ),
         },
         "/journal" => match &options.journal {
@@ -243,6 +300,14 @@ const FALLBACK_DROP_CRITICAL: f64 = 0.05;
 const FALLBACK_SATURATION_DEGRADED: f64 = 0.9;
 
 fn healthz<F: Fn() -> Snapshot>(snapshot: &F, options: &ServeOptions) -> (Health, String) {
+    let (health, mut body) = healthz_verdict(snapshot, options);
+    if let Some(build) = &options.build {
+        body.push_str(&build.healthz_line());
+    }
+    (health, body)
+}
+
+fn healthz_verdict<F: Fn() -> Snapshot>(snapshot: &F, options: &ServeOptions) -> (Health, String) {
     if let Some(hub) = &options.slo {
         let report = hub.observe_and_evaluate(&snapshot());
         return (report.health, report.healthz_body());
@@ -510,6 +575,126 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(slo.contains("\"status\":\"ok\""), "{slo}");
         assert!(slo.contains("\"objective\":\"drop_ratio\""), "{slo}");
+    }
+
+    #[test]
+    fn quality_and_drift_routes_serve_live_reports() {
+        use crate::drift::{DriftConfig, DriftEngine};
+        use crate::quality::{ModelKind, QualityConfig, QualityHub};
+        let registry = Arc::new(Registry::new());
+        let (qsink, qhub) = QualityHub::new(QualityConfig::default(), &registry);
+        let (dsink, dengine) = DriftEngine::new(
+            DriftConfig {
+                reference_size: 8,
+                window: 8,
+                min_window: 4,
+                ..DriftConfig::default()
+            },
+            &registry,
+        );
+        let build = Arc::new(crate::build::BuildInfo::register(&registry));
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn_with(
+            "127.0.0.1:0",
+            move || reg.snapshot(),
+            ServeOptions {
+                quality: Some(Arc::new(Mutex::new(qhub))),
+                drift: Some(Arc::new(Mutex::new(dengine))),
+                build: Some(build),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Producers emit; the per-request drain makes them visible
+        // without any explicit pump.
+        for _ in 0..3 {
+            qsink.emit(ModelKind::Title, 0, 0);
+        }
+        qsink.emit(ModelKind::Title, 1, 0);
+        for i in 0..16 {
+            dsink.observe(ModelKind::Title, 0.9 - 0.01 * (i % 3) as f64, 0.8);
+        }
+        let (head, body) = get(addr, "/quality");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"model\":\"title\""), "{body}");
+        assert!(body.contains("\"accuracy\":0.75"), "{body}");
+        let (head, body) = get(addr, "/drift");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"reference_frozen\":true"), "{body}");
+        assert!(body.contains("\"alarm\":false"), "{body}");
+        // The drained gauges are visible on the very next scrape.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("cgc_quality_accuracy_pct{model=\"title\"} 75"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("cgc_drift_reference_frozen{model=\"title\"} 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("cgc_build_info{git="), "{metrics}");
+        assert!(metrics.contains("cgc_process_uptime_seconds"), "{metrics}");
+        // And the healthz body carries the build line.
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("build "), "{body}");
+        drop(server);
+
+        // Without backends the routes 404 with a hint.
+        let registry = Arc::new(Registry::new());
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, body) = get(server.local_addr(), "/quality");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_eq!(body, "no quality telemetry installed\n");
+        let (head, body) = get(server.local_addr(), "/drift");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_eq!(body, "no drift engine installed\n");
+    }
+
+    #[test]
+    fn metrics_scrape_is_openmetrics_well_formed_with_exemplars() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("cgc_demo_total", "Demo counter").add(7);
+        registry
+            .gauge_with("cgc_demo_depth", "Demo gauge", &[("shard", "0")])
+            .set(2);
+        registry
+            .histogram("cgc_demo_lat_ns", "Demo latency")
+            .record_with_exemplar(100, 0xab, 0xcd);
+        let reg = Arc::clone(&registry);
+        let server = TelemetryServer::spawn("127.0.0.1:0", move || reg.snapshot(), None).unwrap();
+        let (head, body) = get(server.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        // Well-formedness of the whole scrape: ends with the EOF marker,
+        // nothing after it, and every line is a comment or a sample whose
+        // value parses.
+        assert!(body.ends_with("# EOF\n"), "{body}");
+        for line in body.lines() {
+            if line == "# EOF" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "unknown comment: {line}"
+                );
+                continue;
+            }
+            assert!(!line.trim().is_empty(), "blank line inside scrape");
+            // Sample line: `name{labels} value [# exemplar]`.
+            let sample = line.split(" # ").next().unwrap();
+            let value = sample.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable sample value in: {line}"
+            );
+        }
+        // Exactly one EOF, at the very end.
+        assert_eq!(body.matches("# EOF").count(), 1, "{body}");
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! once the burst leaves the fast window, `evaluate` returns to ok.
 //!
 //! [`SnapshotBridge`] derives the objective values (drop ratio, hand-off
-//! p99, queue saturation, classifier staleness) from consecutive registry
+//! p99, queue saturation, classifier staleness, rolling classification
+//! error, label-free drift score) from consecutive registry
 //! [`Snapshot`]s, and [`SloHub`] packages engine + bridge + clock behind
 //! one `&self` entry point for the telemetry server and the fleet
 //! reporter.
@@ -45,15 +46,23 @@ pub enum ObjectiveKind {
     /// µs since the classifier pipeline last closed a slot while flows
     /// were active.
     ClassifierStalenessUs,
+    /// Worst rolling classification error (1 − accuracy) across models
+    /// where ground truth is streamed into the quality hub, 0..=1.
+    QualityErrorRatio,
+    /// Worst label-free drift score across models (PSI units; see
+    /// [`crate::drift`]).
+    DriftScore,
 }
 
 impl ObjectiveKind {
     /// Every objective kind.
-    pub const ALL: [ObjectiveKind; 4] = [
+    pub const ALL: [ObjectiveKind; 6] = [
         ObjectiveKind::HandoffP99Us,
         ObjectiveKind::DropRatio,
         ObjectiveKind::QueueSaturation,
         ObjectiveKind::ClassifierStalenessUs,
+        ObjectiveKind::QualityErrorRatio,
+        ObjectiveKind::DriftScore,
     ];
 
     /// Stable snake_case name (JSON `objective` field, healthz reasons).
@@ -63,6 +72,8 @@ impl ObjectiveKind {
             ObjectiveKind::DropRatio => "drop_ratio",
             ObjectiveKind::QueueSaturation => "queue_saturation",
             ObjectiveKind::ClassifierStalenessUs => "classifier_staleness_us",
+            ObjectiveKind::QualityErrorRatio => "quality_error_ratio",
+            ObjectiveKind::DriftScore => "drift_score",
         }
     }
 }
@@ -118,6 +129,14 @@ impl Default for SloConfig {
                 Objective {
                     kind: ObjectiveKind::ClassifierStalenessUs,
                     target: 30_000_000.0,
+                },
+                Objective {
+                    kind: ObjectiveKind::QualityErrorRatio,
+                    target: 0.10,
+                },
+                Objective {
+                    kind: ObjectiveKind::DriftScore,
+                    target: 0.25,
                 },
             ],
         }
@@ -463,6 +482,53 @@ impl SnapshotBridge {
             ObjectiveKind::ClassifierStalenessUs,
             staleness as f64,
         );
+        // Quality: worst rolling error across the models whose windows
+        // actually hold truth-joined samples (an empty window is not
+        // evidence of accuracy).
+        let worst_error = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "cgc_quality_accuracy_pct")
+            .filter_map(|m| {
+                let model = m.labels.iter().find(|(k, _)| k == "model")?.1.as_str();
+                let filled = snap
+                    .get_with("cgc_quality_window_len", &[("model", model)])
+                    .is_some_and(
+                        |w| matches!(w.value, crate::snapshot::MetricValue::Gauge(v) if v > 0),
+                    );
+                if !filled {
+                    return None;
+                }
+                match m.value {
+                    crate::snapshot::MetricValue::Gauge(pct) => {
+                        Some((1.0 - pct as f64 / 100.0).clamp(0.0, 1.0))
+                    }
+                    _ => None,
+                }
+            })
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            });
+        if let Some(err) = worst_error {
+            engine.observe(now_us, ObjectiveKind::QualityErrorRatio, err);
+        }
+        // Drift: worst label-free score across models (milli-gauge → PSI
+        // units). Present whenever a drift engine is registered; zero
+        // during warmup, so installing the engine never alarms by itself.
+        let worst_drift = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "cgc_drift_score_milli")
+            .filter_map(|m| match m.value {
+                crate::snapshot::MetricValue::Gauge(v) => Some(v.max(0) as f64 / 1000.0),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
+        if let Some(score) = worst_drift {
+            engine.observe(now_us, ObjectiveKind::DriftScore, score);
+        }
         self.prev = Some(snap.clone());
     }
 }
@@ -676,6 +742,67 @@ mod tests {
         bridge.observe(&mut engine, 3 * MIN, &registry.snapshot());
         let report = engine.evaluate(3 * MIN);
         assert_eq!(report.objectives[1].last, 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn bridge_derives_quality_error_from_accuracy_gauges() {
+        let registry = Registry::new();
+        let acc_title = registry.gauge_with("cgc_quality_accuracy_pct", "a", &[("model", "title")]);
+        let len_title = registry.gauge_with("cgc_quality_window_len", "w", &[("model", "title")]);
+        // A second model with an empty window and 0% accuracy must NOT
+        // count: no samples means no evidence.
+        registry
+            .gauge_with("cgc_quality_accuracy_pct", "a", &[("model", "stage")])
+            .set(0);
+        registry
+            .gauge_with("cgc_quality_window_len", "w", &[("model", "stage")])
+            .set(0);
+        let mut engine = engine_with(ObjectiveKind::QualityErrorRatio, 0.10);
+        let mut bridge = SnapshotBridge::new();
+        acc_title.set(95);
+        len_title.set(256);
+        bridge.observe(&mut engine, 0, &registry.snapshot());
+        bridge.observe(&mut engine, MIN, &registry.snapshot());
+        let report = engine.evaluate(MIN);
+        assert_eq!(report.health, Health::Ok, "{report:?}");
+        assert!(
+            (report.objectives[0].last - 0.05).abs() < 1e-9,
+            "{report:?}"
+        );
+        // Accuracy collapses: sustained error past the floor degrades.
+        acc_title.set(40);
+        for m in 2..=7u64 {
+            bridge.observe(&mut engine, m * MIN, &registry.snapshot());
+        }
+        let report = engine.evaluate(7 * MIN);
+        assert_eq!(report.health, Health::Degraded, "{report:?}");
+        assert!(report
+            .healthz_body()
+            .starts_with("degraded: quality_error_ratio"));
+    }
+
+    #[test]
+    fn bridge_derives_drift_score_from_milli_gauges() {
+        let registry = Registry::new();
+        let title = registry.gauge_with("cgc_drift_score_milli", "d", &[("model", "title")]);
+        registry
+            .gauge_with("cgc_drift_score_milli", "d", &[("model", "stage")])
+            .set(10);
+        let mut engine = engine_with(ObjectiveKind::DriftScore, 0.25);
+        let mut bridge = SnapshotBridge::new();
+        title.set(0); // warmup: engine installed, nothing scored yet
+        bridge.observe(&mut engine, 0, &registry.snapshot());
+        bridge.observe(&mut engine, MIN, &registry.snapshot());
+        assert_eq!(engine.evaluate(MIN).health, Health::Ok);
+        // The worst model's score crosses the ceiling and stays there.
+        title.set(600);
+        for m in 2..=7u64 {
+            bridge.observe(&mut engine, m * MIN, &registry.snapshot());
+        }
+        let report = engine.evaluate(7 * MIN);
+        assert_eq!(report.health, Health::Degraded, "{report:?}");
+        assert!((report.objectives[0].last - 0.6).abs() < 1e-9, "{report:?}");
+        assert!(report.healthz_body().starts_with("degraded: drift_score"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gamescope::deploy::fleet::{build_tap_feed, run_fleet, FleetConfig, TapFleetConfig};
-use gamescope::deploy::report::{journal_table, metrics_table, trace_table};
+use gamescope::deploy::report::{journal_table, metrics_table, quality_table, trace_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
 use gamescope::ingest::{
@@ -147,10 +147,22 @@ OPTIONS (all subcommands):
                        slot, classifier, verdict); accepts '8' or '1/8'
   --trace-table        print sampled span timelines as an aligned table
                        on stderr (implies --trace-sample 1 unless given)
-  --serve <addr>       serve GET /metrics, /healthz, /slo, /journal and
-                       /trace (filter with ?flow=<hex>&slot=<n>) over
-                       HTTP (e.g. 127.0.0.1:9090; port 0 picks a free
-                       port) while the command runs
+  --serve <addr>       serve GET /metrics, /healthz, /slo, /journal,
+                       /quality, /drift and /trace (filter with
+                       ?flow=<hex>&slot=<n>) over HTTP (e.g.
+                       127.0.0.1:9090; port 0 picks a free port) while
+                       the command runs
+  --quality            stream classification-quality telemetry: fleet
+                       sessions join predictions against withheld truth
+                       into rolling confusion gauges, and every
+                       classifier feeds the label-free drift engine; a
+                       quality table and drift verdict print on exit
+                       (implied by --serve)
+  --drift-window <n>   drift comparison window in recent scores
+                       (default 256)
+  --drift-reference <n> reference distribution size; the reference
+                       freezes once this many warmup scores arrive
+                       (default 512)
 ";
 
 /// Removes `--name <value>` from `args`, returning the value.
@@ -662,6 +674,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let quality_flag = take_flag(&mut args, "--quality");
+    let drift_window: Option<usize> = match take_value(&mut args, "--drift-window")
+        .and_then(|v| v.map(|v| parse("--drift-window", &v)).transpose())
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let drift_reference: Option<usize> = match take_value(&mut args, "--drift-reference")
+        .and_then(|v| v.map(|v| parse("--drift-reference", &v)).transpose())
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
@@ -701,6 +732,27 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // Quality/drift telemetry: --quality (or any live endpoint) installs
+    // the process-wide quality hub and drift engine before the command
+    // runs, so every analyzer and fleet truth-join from here on feeds
+    // them. Off by default: without the sinks the hot path stays
+    // zero-alloc and untouched.
+    let quality_on = quality_flag || serve_addr.is_some();
+    if quality_on {
+        obs::quality::install_global(obs::QualityConfig::default());
+        let mut drift_cfg = obs::DriftConfig::default();
+        if let Some(n) = drift_window {
+            drift_cfg.window = n;
+        }
+        if let Some(n) = drift_reference {
+            drift_cfg.reference_size = n;
+        }
+        obs::drift::install_global(drift_cfg);
+    } else if drift_window.is_some() || drift_reference.is_some() {
+        eprintln!(
+            "note: --drift-window/--drift-reference have no effect without --quality or --serve"
+        );
+    }
     // An off-thread pump keeps the span ring drained for the duration of
     // the command — without it, the per-record transport stages fill the
     // ring long before exit and later stages count as drops. The short
@@ -733,6 +785,9 @@ fn main() -> ExitCode {
                 // Burn-rate evaluation on the wall clock backs /slo and
                 // upgrades /healthz from the cumulative-counter fallback.
                 slo: Some(Arc::new(obs::SloHub::real_time(obs::SloConfig::default()))),
+                quality: obs::quality::global().map(|(_, hub)| Arc::clone(hub)),
+                drift: obs::drift::global().map(|(_, engine)| Arc::clone(engine)),
+                build: Some(Arc::new(obs::BuildInfo::register(obs::Registry::global()))),
             };
             match obs::TelemetryServer::spawn_with(
                 addr,
@@ -741,7 +796,7 @@ fn main() -> ExitCode {
             ) {
                 Ok(server) => {
                     eprintln!(
-                        "telemetry: serving /metrics /healthz /slo /journal{} on http://{}",
+                        "telemetry: serving /metrics /healthz /slo /journal /quality /drift{} on http://{}",
                         if trace.is_some() { " /trace" } else { "" },
                         server.local_addr()
                     );
@@ -773,6 +828,10 @@ fn main() -> ExitCode {
     // metrics, journal and trace output below see the complete streams.
     drop(_pump);
     drop(_trace_pump);
+    // Final quality/drift drain so the snapshot below (and the exit
+    // tables) reflect every labeled pair and score the run produced.
+    obs::quality::sync_global();
+    obs::drift::sync_global();
     let snapshot = obs::Registry::global().snapshot();
     if verbose_metrics {
         eprintln!("\n{}", metrics_table(&snapshot));
@@ -811,6 +870,34 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("journal written to {target}");
+            }
+        }
+    }
+
+    if quality_on {
+        if let Some((_, hub)) = obs::quality::global() {
+            let report = obs::quality::lock_hub(hub).report();
+            let table = quality_table(&report);
+            if table.is_empty() {
+                eprintln!("quality: no labeled pairs observed (offline fleet joins feed this)");
+            } else {
+                eprintln!("\n{table}");
+            }
+        }
+        if let Some((_, engine)) = obs::drift::global() {
+            let report = obs::drift::lock_engine(engine).report();
+            let alarms = report.alarms();
+            if alarms.is_empty() {
+                eprintln!(
+                    "drift: all models below the {:.2} alarm threshold",
+                    report.alarm_threshold
+                );
+            } else {
+                eprintln!(
+                    "drift: ALARM — score over {:.2} for {}",
+                    report.alarm_threshold,
+                    alarms.join(", ")
+                );
             }
         }
     }

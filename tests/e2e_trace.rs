@@ -160,7 +160,7 @@ fn trace_endpoint_reconstructs_causal_chains_with_exemplars() {
         ServeOptions {
             journal: Some(Arc::new(Mutex::new(journal))),
             trace: Some(Arc::new(Mutex::new(collector))),
-            slo: None,
+            ..ServeOptions::default()
         },
     )
     .unwrap();

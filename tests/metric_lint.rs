@@ -91,6 +91,12 @@ fn every_registered_family_is_lint_clean() {
         &extra,
     )
     .stop();
+    // The classification-quality observatory: constructing the hub, the
+    // drift engine and the build-info gauges pre-registers every
+    // cgc_quality_*, cgc_drift_* and cgc_build_* / uptime family.
+    let _ = obs::QualityHub::new(obs::QualityConfig::default(), &extra);
+    let _ = obs::DriftEngine::new(obs::DriftConfig::default(), &extra);
+    let _ = obs::BuildInfo::register(&extra);
 
     let mut families: BTreeMap<String, BTreeMap<Vec<String>, String>> = BTreeMap::new();
     collect(&run.fleet.snapshot, "replay registry", &mut families);
