@@ -24,6 +24,14 @@
 //!   observation into the lock-free drift ring), self-normalized against
 //!   the sink-absent run: the quality observatory must ride along within
 //!   tolerance.
+//! * **Live-slot indirection cost** — the same serial monitor served
+//!   from a `LiveModel` hot-swap slot instead of a fixed bundle,
+//!   self-normalized against the fixed-bundle run with a hard 0.90
+//!   floor: pinning a model version at admission must stay near-free.
+//! * **Swap-under-load tail latency** — ingest chunk latencies while a
+//!   publisher hot-swaps the bundle every millisecond; no chunk may
+//!   exceed a fixed headroom over the quiet run's p99, proving swaps
+//!   never stall the pipeline.
 //!
 //! Absolute throughput numbers (records/s, raw ns) are machine-dependent
 //! and deliberately **not** gated — a faster or slower CI box would make
@@ -40,8 +48,8 @@
 use std::time::Instant;
 
 use cgc_bench::forestperf::{
-    measure_inference, measure_monitor, measure_monitor_drifted, measure_monitor_traced,
-    ForestSnapshot,
+    measure_inference, measure_monitor, measure_monitor_drifted, measure_monitor_live,
+    measure_monitor_traced, measure_swap_under_load, ForestSnapshot, SWAP_LATENCY_HEADROOM,
 };
 use cgc_ingest::{merge_sources, split_round_robin, MergeConfig, MergeSource};
 use nettrace::packet::FiveTuple;
@@ -224,6 +232,49 @@ fn main() {
         "monitor drift-sink installed/absent throughput ratio",
         drifted.records_per_sec / untraced.records_per_sec,
         1.0,
+    );
+
+    // --- Monitor throughput under live-slot indirection --------------------
+    // The hot-swap slot's read-path cost: every flow admission pins its
+    // model version with one Acquire pointer load instead of chasing a
+    // plain reference. Self-normalized against the fixed-bundle run, with
+    // a hard 0.90 floor — if the indirection ever costs more than 10 % of
+    // monitor throughput, the zero-stall swap story is broken.
+    eprintln!(
+        "monitor throughput under live-slot indirection (fresh measurement, best of {MONITOR_REPS}):"
+    );
+    let live = measure_monitor_live(MONITOR_REPS);
+    let live_ratio = live.records_per_sec / untraced.records_per_sec;
+    gate.check(
+        "monitor live-slot/fixed-bundle throughput ratio",
+        live_ratio,
+        1.0,
+    );
+    gate.require(
+        &format!("live-slot throughput ratio {live_ratio:.3} clears the 0.90 hot-swap floor"),
+        live_ratio >= 0.90,
+    );
+
+    // --- Swap-under-load tail latency --------------------------------------
+    // Ingest chunk latencies while a publisher republishes the bundle
+    // every millisecond. A swap must never stall ingest: the worst chunk
+    // during the swap storm has to stay within a fixed headroom of the
+    // quiet run's p99.
+    eprintln!("swap-under-load tail latency (fresh measurement, best of 3):");
+    let swap = measure_swap_under_load(3);
+    eprintln!(
+        "        {} swaps landed; quiet p99 {:.0} ns, swapped p99 {:.0} ns, swapped max {:.0} ns",
+        swap.swaps, swap.quiet_p99_ns, swap.swapped_p99_ns, swap.swapped_max_ns
+    );
+    gate.require(
+        "swap storm landed at least one hot-swap mid-ingest",
+        swap.swaps > 0,
+    );
+    gate.require(
+        &format!(
+            "no ingest chunk during hot-swaps exceeds {SWAP_LATENCY_HEADROOM:.0}x the quiet p99 floor"
+        ),
+        swap.within_headroom(),
     );
 
     // --- Ingest merge ------------------------------------------------------

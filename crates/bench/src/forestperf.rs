@@ -7,11 +7,14 @@
 //! best-of-N wall-clock reps.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use cgc_core::bundle::ModelBundle;
 use cgc_core::monitor::{MonitorConfig, TapMonitor};
 use cgc_deploy::train::{train_bundle, TrainConfig};
+use cgc_lifecycle::LiveModel;
 use mlcore::{argmax, Classifier, Dataset, RandomForest, RandomForestConfig};
 use nettrace::packet::FiveTuple;
 use nettrace::units::Micros;
@@ -240,6 +243,150 @@ pub fn measure_monitor_drifted(reps: usize) -> MonitorPerf {
     let registry = cgc_obs::Registry::new();
     let (sink, _engine) = cgc_obs::DriftEngine::new(cgc_obs::DriftConfig::default(), &registry);
     measure_monitor_with_sinks(reps, None, Some(sink))
+}
+
+/// [`measure_monitor`] with the monitor served from a [`LiveModel`] hot
+/// slot instead of a fixed bundle reference — the fleet configuration
+/// once a `LifecyclePilot` is attached. Every flow admission pays one
+/// extra `Acquire` pointer load to pin its version; the perf gate holds
+/// this against the fixed-bundle number (ratio floor 0.90).
+pub fn measure_monitor_live(reps: usize) -> MonitorPerf {
+    let live = LiveModel::new(train_bundle(&TrainConfig::quick()));
+    let feed = monitor_feed();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut monitor = TapMonitor::new(&live, MonitorConfig::default());
+        let start = Instant::now();
+        for (ts, tuple, len) in &feed {
+            monitor.ingest(*ts, tuple, *len);
+        }
+        let flows = monitor.finish_all().len();
+        let secs = start.elapsed().as_secs_f64();
+        black_box(flows);
+        if secs < best {
+            best = secs;
+        }
+    }
+    MonitorPerf {
+        flows: MONITOR_FLOWS,
+        records: feed.len(),
+        records_per_sec: feed.len() as f64 / best,
+    }
+}
+
+/// Records per latency-sampled ingest chunk in the swap-under-load
+/// measurement: big enough that one chunk spans a few milliseconds of
+/// ingest, so a stalled swap would dominate its latency rather than
+/// drown in scheduler noise.
+const SWAP_CHUNK: usize = 4_096;
+
+/// Tolerated multiple of the quiet p99 chunk latency while swaps are in
+/// flight. A publisher that stalled readers (a lock on the pin path, a
+/// torn-state retry loop) would blow through this by orders of
+/// magnitude; scheduler jitter from the one extra thread does not.
+pub const SWAP_LATENCY_HEADROOM: f64 = 8.0;
+
+/// Swap-under-load latency profile: per-chunk ingest wall times with the
+/// hot slot quiet vs. with a publisher republishing mid-ingest.
+#[derive(Serialize, Deserialize)]
+pub struct SwapPerf {
+    /// Tap records per latency-sampled chunk.
+    pub chunk_records: usize,
+    /// Latency samples per pass.
+    pub chunks: usize,
+    /// Versions published while the swapped pass was ingesting.
+    pub swaps: usize,
+    /// p99 chunk latency with no publisher (ns).
+    pub quiet_p99_ns: f64,
+    /// p99 chunk latency while swaps land (ns).
+    pub swapped_p99_ns: f64,
+    /// Worst chunk latency while swaps land (ns).
+    pub swapped_max_ns: f64,
+}
+
+impl SwapPerf {
+    /// The gate predicate: no ingest chunk during the swap storm may
+    /// exceed the quiet p99 by more than [`SWAP_LATENCY_HEADROOM`].
+    pub fn within_headroom(&self) -> bool {
+        self.swapped_max_ns <= self.quiet_p99_ns * SWAP_LATENCY_HEADROOM
+    }
+}
+
+/// One full feed replay against `live`, returning per-chunk ingest wall
+/// times in nanoseconds.
+fn chunk_latencies(live: &LiveModel<ModelBundle>, feed: &[(Micros, FiveTuple, u32)]) -> Vec<f64> {
+    let mut monitor = TapMonitor::new(live, MonitorConfig::default());
+    let mut latencies = Vec::with_capacity(feed.len() / SWAP_CHUNK + 1);
+    for chunk in feed.chunks(SWAP_CHUNK) {
+        let start = Instant::now();
+        for (ts, tuple, len) in chunk {
+            monitor.ingest(*ts, tuple, *len);
+        }
+        latencies.push(start.elapsed().as_nanos() as f64);
+    }
+    black_box(monitor.finish_all().len());
+    latencies
+}
+
+fn p99(latencies: &[f64]) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[((sorted.len() - 1) * 99) / 100]
+}
+
+/// Measures hot-swap impact on ingest tail latency: one quiet pass over
+/// the 10 k-flow feed, then `reps` passes with a publisher thread
+/// republishing a cloned bundle every millisecond, keeping the reported
+/// swapped pass as the best-of-`reps` by worst chunk (same best-of
+/// methodology as the throughput numbers — the gate asks whether a swap
+/// *must* stall ingest, not whether the scheduler *can*).
+pub fn measure_swap_under_load(reps: usize) -> SwapPerf {
+    let bundle = train_bundle(&TrainConfig::quick());
+    let live = Arc::new(LiveModel::new(bundle.clone()));
+    let feed = monitor_feed();
+
+    let mut quiet_p99_ns = f64::INFINITY;
+    for _ in 0..reps {
+        quiet_p99_ns = quiet_p99_ns.min(p99(&chunk_latencies(&live, &feed)));
+    }
+
+    let mut best: Option<(Vec<f64>, usize)> = None;
+    for _ in 0..reps {
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let live = Arc::clone(&live);
+            let stop = Arc::clone(&stop);
+            let bundle = bundle.clone();
+            std::thread::spawn(move || {
+                let mut published = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    live.publish(bundle.clone());
+                    published += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                published
+            })
+        };
+        let latencies = chunk_latencies(&live, &feed);
+        stop.store(true, Ordering::Relaxed);
+        let swaps = publisher.join().expect("publisher thread panicked");
+        let worst = latencies.iter().fold(0.0f64, |a, &b| a.max(b));
+        let current_worst = best
+            .as_ref()
+            .map(|(l, _)| l.iter().fold(0.0f64, |a, &b| a.max(b)));
+        if current_worst.is_none_or(|w| worst < w) {
+            best = Some((latencies, swaps));
+        }
+    }
+    let (latencies, swaps) = best.expect("at least one swapped rep");
+    SwapPerf {
+        chunk_records: SWAP_CHUNK,
+        chunks: latencies.len(),
+        swaps,
+        quiet_p99_ns,
+        swapped_p99_ns: p99(&latencies),
+        swapped_max_ns: latencies.iter().fold(0.0f64, |a, &b| a.max(b)),
+    }
 }
 
 fn measure_monitor_with_sinks(

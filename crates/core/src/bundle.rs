@@ -7,10 +7,13 @@
 //! `cgc-deploy::train`), persist the bundle as JSON, and load it at the
 //! tap.
 
+use cgc_lifecycle::{Artifact, LiveModel, ModelDescriptor};
+use mlcore::Classifier;
 use nettrace::units::{Micros, MICROS_PER_SEC};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use cgc_features::vol_attrs::StageFeatureConfig;
 
@@ -62,5 +65,90 @@ impl ModelBundle {
     pub fn load(path: impl AsRef<Path>) -> io::Result<ModelBundle> {
         let json = std::fs::read_to_string(path)?;
         Self::from_json(&json).map_err(io::Error::other)
+    }
+}
+
+impl Artifact for ModelBundle {
+    fn descriptors(&self) -> Vec<ModelDescriptor> {
+        vec![
+            ModelDescriptor {
+                model: "title".into(),
+                n_classes: self.title.forest().n_classes(),
+                flat_checksum: self.title.flat_checksum(),
+            },
+            ModelDescriptor {
+                model: "stage".into(),
+                n_classes: self.stage.forest().n_classes(),
+                flat_checksum: self.stage.flat_checksum(),
+            },
+            ModelDescriptor {
+                model: "pattern".into(),
+                n_classes: self.pattern.forest().n_classes(),
+                flat_checksum: self.pattern.flat_checksum(),
+            },
+        ]
+    }
+}
+
+/// Where a monitor gets its models: a fixed bundle reference (the
+/// pre-lifecycle deployment shape) or a hot-swappable [`LiveModel`]
+/// slot. `Copy`, so it threads through constructors like the plain
+/// reference used to.
+///
+/// Every flow **pins** at admission: one [`ModelSource::pin`] call
+/// resolves the source to a concrete `&ModelBundle` plus the registry
+/// version it was published under (0 for fixed bundles). In-flight
+/// flows therefore finish on the version they started with while a
+/// concurrent publish redirects only new admissions — zero stall, no
+/// torn reads.
+#[derive(Debug, Clone, Copy)]
+pub enum ModelSource<'b> {
+    /// A fixed bundle, never swapped (version 0).
+    Fixed(&'b ModelBundle),
+    /// A hot-swappable versioned slot.
+    Live(&'b LiveModel<ModelBundle>),
+}
+
+impl<'b> ModelSource<'b> {
+    /// Resolves to the bundle serving *right now* plus its registry
+    /// version. One atomic load on the `Live` arm; free on `Fixed`.
+    pub fn pin(self) -> (&'b ModelBundle, u32) {
+        match self {
+            ModelSource::Fixed(bundle) => (bundle, 0),
+            ModelSource::Live(slot) => {
+                let pinned = slot.load();
+                (pinned.value(), pinned.version())
+            }
+        }
+    }
+
+    /// True when decisions should be stamped with a model version
+    /// (i.e. the source can actually swap).
+    pub fn is_live(self) -> bool {
+        matches!(self, ModelSource::Live(_))
+    }
+}
+
+impl<'b> From<&'b ModelBundle> for ModelSource<'b> {
+    fn from(bundle: &'b ModelBundle) -> ModelSource<'b> {
+        ModelSource::Fixed(bundle)
+    }
+}
+
+impl<'b> From<&'b Arc<ModelBundle>> for ModelSource<'b> {
+    fn from(bundle: &'b Arc<ModelBundle>) -> ModelSource<'b> {
+        ModelSource::Fixed(bundle)
+    }
+}
+
+impl<'b> From<&'b LiveModel<ModelBundle>> for ModelSource<'b> {
+    fn from(slot: &'b LiveModel<ModelBundle>) -> ModelSource<'b> {
+        ModelSource::Live(slot)
+    }
+}
+
+impl<'b> From<&'b Arc<LiveModel<ModelBundle>>> for ModelSource<'b> {
+    fn from(slot: &'b Arc<LiveModel<ModelBundle>>) -> ModelSource<'b> {
+        ModelSource::Live(slot)
     }
 }

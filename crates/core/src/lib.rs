@@ -44,7 +44,7 @@ pub mod shard;
 pub mod stage;
 pub mod title;
 
-pub use bundle::ModelBundle;
+pub use bundle::{ModelBundle, ModelSource};
 pub use expiry::ExpiryWheel;
 pub use filter::{CloudGamingFilter, FilterConfig, Platform};
 pub use metrics::{MonitorMetrics, PipelineMetrics};
@@ -54,6 +54,6 @@ pub use pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
 pub use qoe::{
     effective_qoe, objective_qoe, CalibrationTable, GameContext, ObjectiveThresholds, QosMetrics,
 };
-pub use shard::{MonitorStats, ShardedMonitorConfig, ShardedTapMonitor, TapRecord};
+pub use shard::{MonitorStats, ShardedMonitorConfig, ShardedTapMonitor, SharedModels, TapRecord};
 pub use stage::{StageClassifier, StageClassifierConfig, STAGE_CLASSES};
 pub use title::{TitleClassifier, TitleClassifierConfig, TitlePrediction};

@@ -30,7 +30,7 @@ use nettrace::pcap::PcapRecord;
 use nettrace::units::Micros;
 use serde::{Deserialize, Serialize};
 
-use crate::bundle::ModelBundle;
+use crate::bundle::ModelSource;
 use crate::expiry::ExpiryWheel;
 use crate::filter::{CloudGamingFilter, FilterConfig, Platform};
 use crate::metrics::{MonitorMetrics, PipelineMetrics};
@@ -83,6 +83,9 @@ pub struct MonitoredSession {
     /// Whether the volumetric confirmation ever passed (flows that never
     /// looked like streaming still get a report, flagged here).
     pub confirmed: bool,
+    /// Model-registry version the flow's analyzer pinned at admission
+    /// (0 when the monitor serves a fixed, non-swappable bundle).
+    pub model_version: u32,
     /// The pipeline's report.
     pub report: SessionReport,
 }
@@ -136,6 +139,8 @@ struct FlowEntry<'b> {
     stats: FlowStats,
     /// Cached journal id (`FiveTuple::flow_id` of the normalized tuple).
     flow_id: u64,
+    /// Registry version the analyzer pinned at admission (0 = fixed).
+    model_version: u32,
 }
 
 /// Multiplexing front end driving one analyzer per detected gaming flow.
@@ -146,7 +151,11 @@ struct FlowEntry<'b> {
 /// 40-byte tuple, with entries reused through a free list so steady-state
 /// flow churn performs no per-flow allocation in the table itself.
 pub struct TapMonitor<'b> {
-    bundle: &'b ModelBundle,
+    /// Fixed bundle or hot-swappable [`LiveModel`] slot; every admitted
+    /// flow pins the version serving at that moment.
+    ///
+    /// [`LiveModel`]: cgc_lifecycle::LiveModel
+    models: ModelSource<'b>,
     config: MonitorConfig,
     filter: CloudGamingFilter,
     /// Normalized tuple → arena slot.
@@ -179,11 +188,12 @@ pub struct TapMonitor<'b> {
 }
 
 impl<'b> TapMonitor<'b> {
-    /// A monitor over a trained bundle, recording telemetry into the
-    /// process-wide registry.
-    pub fn new(bundle: &'b ModelBundle, config: MonitorConfig) -> Self {
+    /// A monitor over a trained bundle (or a hot-swappable
+    /// [`LiveModel`](cgc_lifecycle::LiveModel) slot), recording
+    /// telemetry into the process-wide registry.
+    pub fn new(models: impl Into<ModelSource<'b>>, config: MonitorConfig) -> Self {
         let mut monitor = Self::with_metrics(
-            bundle,
+            models,
             config,
             MonitorMetrics::global().clone(),
             PipelineMetrics::global().clone(),
@@ -199,12 +209,12 @@ impl<'b> TapMonitor<'b> {
     /// A monitor recording telemetry into `registry` instead of the
     /// process-wide one (used by tests and tools that need isolation).
     pub fn with_registry(
-        bundle: &'b ModelBundle,
+        models: impl Into<ModelSource<'b>>,
         config: MonitorConfig,
         registry: &cgc_obs::Registry,
     ) -> Self {
         Self::with_metrics(
-            bundle,
+            models,
             config,
             MonitorMetrics::register(registry),
             PipelineMetrics::register(registry),
@@ -214,13 +224,13 @@ impl<'b> TapMonitor<'b> {
     /// A monitor recording telemetry into injected handles (used by
     /// tests and tools that need an isolated registry).
     pub fn with_metrics(
-        bundle: &'b ModelBundle,
+        models: impl Into<ModelSource<'b>>,
         config: MonitorConfig,
         metrics: MonitorMetrics,
         pipeline_metrics: PipelineMetrics,
     ) -> Self {
         TapMonitor {
-            bundle,
+            models: models.into(),
             config,
             filter: CloudGamingFilter::new(config.filter),
             flows: HashMap::new(),
@@ -300,8 +310,12 @@ impl<'b> TapMonitor<'b> {
                     self.evict_least_recent();
                 }
                 let flow_id = key.flow_id();
+                // Pin the model generation once per flow: the analyzer
+                // borrows this exact bundle for its whole life, so a
+                // concurrent hot-swap redirects only future admissions.
+                let (bundle, model_version) = self.models.pin();
                 let mut analyzer = SessionAnalyzer::with_metrics(
-                    self.bundle,
+                    bundle,
                     self.config.analyzer,
                     self.config.qoe,
                     self.pipeline_metrics.clone(),
@@ -318,6 +332,7 @@ impl<'b> TapMonitor<'b> {
                     last_seen: ts,
                     stats: FlowStats::default(),
                     flow_id,
+                    model_version,
                 };
                 let slot = self.alloc_slot(entry);
                 self.flows.insert(key, slot);
@@ -330,6 +345,19 @@ impl<'b> TapMonitor<'b> {
                         platform,
                     },
                 );
+                // Version stamp right after admission, so every later
+                // decision in the timeline is attributable to a model
+                // generation. Fixed bundles (version 0) skip the event —
+                // nothing can swap, so there is nothing to attribute.
+                if self.models.is_live() {
+                    self.journal.emit(
+                        flow_id,
+                        ts,
+                        EventKind::ModelVersion {
+                            version: model_version,
+                        },
+                    );
+                }
                 // One Shard span per flow, at admission: the hand-off of
                 // the flow to this monitor (one shard of the parallel
                 // front end, or the whole serial one).
@@ -506,6 +534,7 @@ impl<'b> TapMonitor<'b> {
             started_at: entry.started_at,
             last_seen: entry.last_seen,
             confirmed,
+            model_version: entry.model_version,
             // finish() emits the analyzer's SessionVerdict first, so the
             // FlowClosed below is always each timeline's final event.
             report: entry.analyzer.finish(),
@@ -522,6 +551,7 @@ impl<'b> TapMonitor<'b> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ModelBundle;
     use cgc_domain::{GameTitle, StreamSettings};
     use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
 

@@ -137,6 +137,12 @@ impl PatternInferrer {
     pub fn forest(&self) -> &RandomForest {
         &self.forest
     }
+
+    /// Content digest of the compiled inference forest (model-registry
+    /// artifact verification).
+    pub fn flat_checksum(&self) -> u64 {
+        self.flat.checksum()
+    }
 }
 
 /// Per-session streaming state: accumulates classified stages and fires a

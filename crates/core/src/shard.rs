@@ -28,10 +28,48 @@ use serde::{Deserialize, Serialize};
 use cgc_obs::journal::EventSink;
 use cgc_obs::{Gauge, Registry, TraceSink};
 
-use crate::bundle::ModelBundle;
+use cgc_lifecycle::LiveModel;
+
+use crate::bundle::{ModelBundle, ModelSource};
 use crate::metrics::{MonitorMetrics, PipelineMetrics};
 use crate::monitor::{MonitorConfig, MonitoredSession, ShardStats, TapMonitor};
 use crate::pipeline::QoeInputs;
+
+/// The models every worker shard serves from: the owned, thread-shareable
+/// dual of [`ModelSource`]. `Fixed` is the pre-lifecycle deployment shape
+/// (one immutable bundle for the process lifetime); `Live` shares a
+/// hot-swappable [`LiveModel`] slot, so a publish from any thread
+/// redirects every shard's *next* flow admission while in-flight flows
+/// finish on the version they pinned.
+#[derive(Debug, Clone)]
+pub enum SharedModels {
+    /// One immutable bundle, shared read-only across shards.
+    Fixed(Arc<ModelBundle>),
+    /// A hot-swappable versioned slot, shared across shards.
+    Live(Arc<LiveModel<ModelBundle>>),
+}
+
+impl SharedModels {
+    /// Borrows this shared handle as a per-monitor [`ModelSource`].
+    pub fn as_source(&self) -> ModelSource<'_> {
+        match self {
+            SharedModels::Fixed(bundle) => ModelSource::Fixed(bundle),
+            SharedModels::Live(slot) => ModelSource::Live(slot),
+        }
+    }
+}
+
+impl From<Arc<ModelBundle>> for SharedModels {
+    fn from(bundle: Arc<ModelBundle>) -> SharedModels {
+        SharedModels::Fixed(bundle)
+    }
+}
+
+impl From<Arc<LiveModel<ModelBundle>>> for SharedModels {
+    fn from(slot: Arc<LiveModel<ModelBundle>>) -> SharedModels {
+        SharedModels::Live(slot)
+    }
+}
 
 /// One tap observation: timestamp, wire five-tuple, RTP payload length.
 pub type TapRecord = (Micros, FiveTuple, u32);
@@ -103,7 +141,7 @@ enum ShardMsg {
 // struct would just move the argument list behind a constructor.
 #[allow(clippy::too_many_arguments)]
 fn shard_worker(
-    bundle: Arc<ModelBundle>,
+    models: SharedModels,
     config: MonitorConfig,
     rx: Receiver<ShardMsg>,
     recycle: Sender<Vec<TapRecord>>,
@@ -113,9 +151,12 @@ fn shard_worker(
     trace: TraceSink,
     queue_depth: Arc<Gauge>,
 ) -> (Vec<MonitoredSession>, ShardStats) {
-    // The monitor borrows the Arc owned by this stack frame, so the worker
-    // is 'static while the models stay shared and read-only.
-    let mut monitor = TapMonitor::with_metrics(&bundle, config, metrics, pipeline_metrics);
+    // The monitor borrows the shared handle owned by this stack frame, so
+    // the worker is 'static while the models stay shared; a `Live` handle
+    // re-resolves at every flow admission, so swaps land without restarting
+    // the worker.
+    let mut monitor =
+        TapMonitor::with_metrics(models.as_source(), config, metrics, pipeline_metrics);
     monitor.set_journal(journal);
     monitor.set_trace(trace);
     while let Ok(msg) = rx.recv() {
@@ -163,11 +204,13 @@ pub struct ShardedTapMonitor {
 }
 
 impl ShardedTapMonitor {
-    /// Spawns `config.shards` worker threads over a shared bundle,
-    /// recording telemetry into the process-wide registry.
-    pub fn new(bundle: Arc<ModelBundle>, config: ShardedMonitorConfig) -> Self {
+    /// Spawns `config.shards` worker threads over a shared model source
+    /// (a fixed `Arc<ModelBundle>` or a hot-swappable
+    /// `Arc<LiveModel<ModelBundle>>`), recording telemetry into the
+    /// process-wide registry.
+    pub fn new(models: impl Into<SharedModels>, config: ShardedMonitorConfig) -> Self {
         Self::with_observability(
-            bundle,
+            models,
             config,
             Registry::global(),
             cgc_obs::journal::global_sink(),
@@ -180,11 +223,11 @@ impl ShardedTapMonitor {
     /// flight-recording on an isolated registry requires
     /// [`ShardedTapMonitor::with_registry_and_journal`].
     pub fn with_registry(
-        bundle: Arc<ModelBundle>,
+        models: impl Into<SharedModels>,
         config: ShardedMonitorConfig,
         registry: &Registry,
     ) -> Self {
-        Self::with_registry_and_journal(bundle, config, registry, EventSink::disabled())
+        Self::with_registry_and_journal(models, config, registry, EventSink::disabled())
     }
 
     /// Spawns the front end with both an isolated registry and a
@@ -192,12 +235,12 @@ impl ShardedTapMonitor {
     /// Span tracing stays disabled: use
     /// [`ShardedTapMonitor::with_observability`] to record stage spans.
     pub fn with_registry_and_journal(
-        bundle: Arc<ModelBundle>,
+        models: impl Into<SharedModels>,
         config: ShardedMonitorConfig,
         registry: &Registry,
         journal: EventSink,
     ) -> Self {
-        Self::with_observability(bundle, config, registry, journal, TraceSink::disabled())
+        Self::with_observability(models, config, registry, journal, TraceSink::disabled())
     }
 
     /// Spawns the front end with the full observability set: isolated
@@ -205,12 +248,13 @@ impl ShardedTapMonitor {
     /// monitor emits lifecycle events into `journal` and Shard/Slot/
     /// Classifier/Verdict spans into `trace`.
     pub fn with_observability(
-        bundle: Arc<ModelBundle>,
+        models: impl Into<SharedModels>,
         config: ShardedMonitorConfig,
         registry: &Registry,
         journal: EventSink,
         trace: TraceSink,
     ) -> Self {
+        let models = models.into();
         let shards = config.shards.max(1);
         let batch_size = config.batch_size.max(1);
         let monitor_metrics = MonitorMetrics::register(registry);
@@ -221,7 +265,7 @@ impl ShardedTapMonitor {
         let (recycle_tx, recycle_rx) = channel::unbounded();
         for i in 0..shards {
             let (tx, rx) = channel::unbounded();
-            let b = Arc::clone(&bundle);
+            let m = models.clone();
             let mc = config.monitor;
             let mm = monitor_metrics.clone();
             let pm = pipeline_metrics.clone();
@@ -233,7 +277,7 @@ impl ShardedTapMonitor {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tap-shard-{i}"))
-                    .spawn(move || shard_worker(b, mc, rx, rc, mm, pm, sink, tr, worker_depth))
+                    .spawn(move || shard_worker(m, mc, rx, rc, mm, pm, sink, tr, worker_depth))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);

@@ -109,6 +109,12 @@ impl StageClassifier {
     pub fn forest(&self) -> &RandomForest {
         &self.forest
     }
+
+    /// Content digest of the compiled inference forest (model-registry
+    /// artifact verification).
+    pub fn flat_checksum(&self) -> u64 {
+        self.flat.checksum()
+    }
 }
 
 #[cfg(test)]

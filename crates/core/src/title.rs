@@ -157,6 +157,12 @@ impl TitleClassifier {
     pub fn forest(&self) -> &RandomForest {
         &self.forest
     }
+
+    /// Content digest of the compiled inference forest (model-registry
+    /// artifact verification).
+    pub fn flat_checksum(&self) -> u64 {
+        self.flat.checksum()
+    }
 }
 
 #[cfg(test)]

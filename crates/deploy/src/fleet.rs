@@ -10,7 +10,7 @@
 //! and a slice of network-impaired subscribers whose streams are rate
 //! capped, lossy and delayed.
 
-use cgc_core::bundle::ModelBundle;
+use cgc_core::bundle::{ModelBundle, ModelSource};
 use cgc_core::pipeline::{AnalyzerConfig, QoeInputs, SessionAnalyzer, SessionReport};
 use cgc_domain::{ActivityPattern, Stage, StreamSettings};
 use cgc_features::vol_attrs::raw_features;
@@ -25,6 +25,29 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use cgc_domain::catalog::CATALOG;
+
+use crate::lifecycle::ShadowMirror;
+
+/// What a fleet run serves from: the live model source every session
+/// pins at start, plus an optional shadow candidate that live decisions
+/// are mirrored to for A/B scoring.
+#[derive(Clone, Copy)]
+pub struct FleetModels<'a> {
+    /// Live models — a fixed bundle or a hot-swappable slot.
+    pub source: ModelSource<'a>,
+    /// Candidate riding shadow, if any.
+    pub shadow: Option<&'a ShadowMirror>,
+}
+
+impl<'a> FleetModels<'a> {
+    /// A fixed bundle with no shadow — the pre-lifecycle shape.
+    pub fn fixed(bundle: &'a ModelBundle) -> FleetModels<'a> {
+        FleetModels {
+            source: ModelSource::Fixed(bundle),
+            shadow: None,
+        }
+    }
+}
 
 /// Fleet simulation configuration.
 #[derive(Debug, Clone)]
@@ -103,6 +126,9 @@ pub struct SessionRecord {
     /// Session arrival time within the simulated deployment window,
     /// microseconds since deployment start (diurnal, evening-peaked).
     pub arrival: u64,
+    /// Registry version of the bundle that served this session (0 when
+    /// the fleet ran against a fixed, unversioned bundle).
+    pub model_version: u32,
     /// The pipeline's report.
     pub report: SessionReport,
 }
@@ -205,11 +231,14 @@ fn impair_session(s: &mut Session, rng: &mut StdRng) -> QoeInputs {
 }
 
 fn run_one(
-    bundle: &ModelBundle,
+    models: FleetModels<'_>,
     cfg: &FleetConfig,
     generator: &mut SessionGenerator,
     id: u64,
 ) -> SessionRecord {
+    // Pin once per session: a concurrent publish into a live slot
+    // redirects only sessions admitted after it.
+    let (bundle, model_version) = models.source.pin();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id));
     let kind = sample_kind(&mut rng, cfg);
     let settings = sample_lab_settings(&mut rng);
@@ -295,6 +324,51 @@ fn run_one(
         }
     }
 
+    // Shadow mirroring: replay the same session through the candidate
+    // bundle (private pipeline metrics, so candidate inference never
+    // pollutes the live counter families) and score live vs candidate
+    // against the withheld ground truth.
+    if let Some(shadow) = models.shadow {
+        use cgc_obs::quality::{pattern_class, stage_class, title_class, ModelKind};
+        let mut mirror = SessionAnalyzer::with_metrics(
+            &shadow.bundle,
+            AnalyzerConfig::default(),
+            qoe,
+            shadow.pipeline_metrics(),
+        );
+        mirror.analyze(&session.packets, &session.vol);
+        let cand = mirror.finish();
+        shadow.score.observe(
+            ModelKind::Title,
+            title_class(report.title.title),
+            title_class(cand.title.title),
+            Some(title_class(kind.known())),
+        );
+        // "No verdict yet" is its own (out-of-space) class: a candidate
+        // that stops concluding still loses agreement and accuracy.
+        let verdict_class = |p: Option<(ActivityPattern, f64)>| {
+            p.map_or(u16::MAX, |(pattern, _)| pattern_class(pattern))
+        };
+        shadow.score.observe(
+            ModelKind::Pattern,
+            verdict_class(report.final_pattern),
+            verdict_class(cand.final_pattern),
+            Some(pattern_class(kind.pattern())),
+        );
+        for (i, (&live_stage, &cand_stage)) in
+            report.stage_slots.iter().zip(&cand.stage_slots).enumerate()
+        {
+            let mid = i as u64 * report.slot_width + report.slot_width / 2;
+            let truth = session.timeline.stage_at(mid).map(stage_class);
+            shadow.score.observe(
+                ModelKind::Stage,
+                stage_class(live_stage),
+                stage_class(cand_stage),
+                truth,
+            );
+        }
+    }
+
     SessionRecord {
         id,
         truth_kind: kind,
@@ -305,6 +379,7 @@ fn run_one(
         peak_down_mbps,
         impaired,
         arrival,
+        model_version,
         report,
     }
 }
@@ -407,6 +482,15 @@ pub fn telemetry_reporter_with_slo(
 /// the remaining sessions; the returned records then cover only the
 /// sessions that completed (still in id order).
 pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> {
+    run_fleet_with_models(FleetModels::fixed(bundle), cfg)
+}
+
+/// [`run_fleet`] against an explicit model source: a hot-swappable
+/// [`LiveModel`](cgc_lifecycle::LiveModel) slot keeps serving while a
+/// publish lands mid-run (each session pins its version at start), and
+/// an attached [`ShadowMirror`] A/B-scores a candidate on the same
+/// traffic.
+pub fn run_fleet_with_models(models: FleetModels<'_>, cfg: &FleetConfig) -> Vec<SessionRecord> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let workers = cfg.workers.max(1).min(cfg.n_sessions.max(1));
@@ -437,7 +521,7 @@ pub fn run_fleet(bundle: &ModelBundle, cfg: &FleetConfig) -> Vec<SessionRecord> 
                         done.fetch_add(1, Ordering::Release);
                         continue;
                     }
-                    let record = run_one(bundle, cfg, &mut generator, id as u64);
+                    let record = run_one(models, cfg, &mut generator, id as u64);
                     slots.lock()[id] = Some(record);
                     done.fetch_add(1, Ordering::Release);
                 }

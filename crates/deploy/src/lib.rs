@@ -18,6 +18,10 @@
 //!   (Fig. 12), objective vs effective QoE corrections (Fig. 13), field
 //!   validation of title classification, and the measurement-driven
 //!   calibration table.
+//! * [`lifecycle`] — the model lifecycle loop: the drift alarm feeds a
+//!   shadow retrain off journaled evidence, candidates ride A/B shadow
+//!   on live traffic, and [`lifecycle::LifecyclePilot`] promotes (or
+//!   rolls back) through a zero-stall hot-swap slot.
 //! * [`report`] — text-table and JSON rendering shared by the experiment
 //!   binaries.
 
@@ -25,12 +29,14 @@
 
 pub mod aggregate;
 pub mod fleet;
+pub mod lifecycle;
 pub mod report;
 pub mod train;
 
 pub use fleet::{
-    build_tap_feed, run_fleet, run_tap_feed_replay, run_tap_fleet, run_tap_fleet_replay,
-    telemetry_reporter, FleetConfig, SessionRecord, TapFleetConfig, TapFleetRun, TapReplayOptions,
-    TapReplayRun,
+    build_tap_feed, run_fleet, run_fleet_with_models, run_tap_feed_replay, run_tap_fleet,
+    run_tap_fleet_replay, telemetry_reporter, FleetConfig, FleetModels, SessionRecord,
+    TapFleetConfig, TapFleetRun, TapReplayOptions, TapReplayRun,
 };
+pub use lifecycle::{LifecyclePilot, PromotePolicy, ShadowMirror};
 pub use train::{train_bundle, TrainConfig};

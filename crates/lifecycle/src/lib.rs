@@ -1,0 +1,268 @@
+//! `cgc-lifecycle` — the model lifecycle control plane.
+//!
+//! The classifiers this stack serves cannot freeze at train time: the
+//! cloud-gaming catalog churns monthly and per-title traffic signatures
+//! shift as the platform evolves, so the paper's authors explicitly
+//! retrain to track it. The observability layer already raises the alarm
+//! (label-free drift detection in `cgc_obs::drift`) and keeps the
+//! evidence (journaled per-flow decisions); this crate is the subsystem
+//! that *acts* on the alarm:
+//!
+//! * [`registry::ModelRegistry`] — a versioned on-disk artifact store.
+//!   Every artifact carries a manifest (version, train-set fingerprint,
+//!   per-forest class space and flat-forest checksum, whole-payload
+//!   byte checksum) and is verified on load: truncated, field-stripped,
+//!   or value-tampered artifacts are rejected, never served.
+//! * [`LiveModel`] — an arc-swap-style hot slot. Readers pin a versioned
+//!   snapshot with one atomic load and finish their flow on it; a
+//!   publisher swaps the live pointer with one atomic store. No locks on
+//!   the read path, no torn reads, zero pipeline stall.
+//! * [`shadow::AbScore`] — A/B shadow evaluation. While a candidate
+//!   rides shadow, every mirrored decision scores live-vs-candidate
+//!   agreement and (where ground truth exists) truth-joined accuracy
+//!   deltas, feeding the promote/hold verdict and the
+//!   `cgc_lifecycle_*` metric families ([`metrics::LifecycleMetrics`]).
+//!
+//! The deploy layer composes these into the full loop: drift alarm →
+//! re-label journaled flows → fit a candidate off-thread → register →
+//! shadow-evaluate → promote (or hold), with instant rollback.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+pub mod metrics;
+pub mod registry;
+pub mod shadow;
+
+pub use metrics::LifecycleMetrics;
+pub use registry::{Artifact, Manifest, ModelDescriptor, ModelRegistry};
+pub use shadow::{AbScore, Assessment, KindScore, Verdict};
+
+/// A value paired with the registry version it was published under.
+#[derive(Debug)]
+pub struct Versioned<T> {
+    version: u32,
+    value: T,
+}
+
+impl<T> Versioned<T> {
+    /// Registry version of this snapshot.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The pinned value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::Deref for Versioned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// An atomically hot-swappable model slot.
+///
+/// The read path is one `Acquire` pointer load: [`LiveModel::load`]
+/// returns a [`Versioned`] reference that stays valid for the slot's
+/// whole lifetime, so a flow admitted before a swap finishes on the
+/// version it pinned while new admissions see the new one — the
+/// arc-swap idiom, minus the external dependency. Publishing
+/// ([`LiveModel::publish`] / [`LiveModel::publish_as`]) and rollback
+/// take a mutex, but only against other writers; readers never block.
+///
+/// Retired versions are parked, not dropped, which is what makes the
+/// lock-free read path sound without epoch reclamation: memory is
+/// bounded by the number of swaps over the slot's lifetime (a handful
+/// of model bundles in any real deployment), and every parked version
+/// remains a valid instant-rollback target.
+pub struct LiveModel<T> {
+    current: AtomicPtr<Versioned<T>>,
+    /// Every version ever published, kept alive for the slot's lifetime.
+    /// The boxes' heap allocations are address-stable, so raw pointers
+    /// handed out by `load` never dangle even as this vec grows.
+    versions: Mutex<Vec<Box<Versioned<T>>>>,
+}
+
+impl<T> LiveModel<T> {
+    /// Creates a slot serving `initial` as version 1.
+    pub fn new(initial: T) -> LiveModel<T> {
+        LiveModel::new_as(1, initial)
+    }
+
+    /// Creates a slot serving `initial` under an explicit registry
+    /// version id.
+    pub fn new_as(version: u32, initial: T) -> LiveModel<T> {
+        let mut boxed = Box::new(Versioned {
+            version,
+            value: initial,
+        });
+        let ptr: *mut Versioned<T> = &mut *boxed;
+        LiveModel {
+            current: AtomicPtr::new(ptr),
+            versions: Mutex::new(vec![boxed]),
+        }
+    }
+
+    /// Pins the live version: one `Acquire` load, no locks. The returned
+    /// reference remains valid (and keeps serving its version) for the
+    /// slot's lifetime, regardless of later swaps.
+    pub fn load(&self) -> &Versioned<T> {
+        // SAFETY: the pointer was produced from a `Box` parked in
+        // `self.versions`, which never shrinks and is only dropped with
+        // the slot itself; `&self` outlives neither.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// Version id currently being served to new pins.
+    pub fn version(&self) -> u32 {
+        self.load().version
+    }
+
+    /// Publishes `value` as the next sequential version and makes it
+    /// live. Returns the assigned version id.
+    pub fn publish(&self, value: T) -> u32 {
+        let mut versions = self.versions.lock().expect("LiveModel poisoned");
+        let version = versions.iter().map(|v| v.version).max().unwrap_or(0) + 1;
+        let mut boxed = Box::new(Versioned { version, value });
+        let ptr: *mut Versioned<T> = &mut *boxed;
+        versions.push(boxed);
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+
+    /// Publishes `value` under an explicit registry version id and makes
+    /// it live.
+    ///
+    /// # Panics
+    /// Panics if `version` was already published into this slot.
+    pub fn publish_as(&self, version: u32, value: T) -> u32 {
+        let mut versions = self.versions.lock().expect("LiveModel poisoned");
+        assert!(
+            versions.iter().all(|v| v.version != version),
+            "version {version} already published"
+        );
+        let mut boxed = Box::new(Versioned { version, value });
+        let ptr: *mut Versioned<T> = &mut *boxed;
+        versions.push(boxed);
+        // Release pairs with the Acquire in `load`: a reader that sees
+        // the new pointer sees the fully initialized Versioned.
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+
+    /// Rolls the live pointer back to an already-published version.
+    /// Instant (one atomic store); returns `false` if the version was
+    /// never published into this slot.
+    pub fn rollback_to(&self, version: u32) -> bool {
+        let mut versions = self.versions.lock().expect("LiveModel poisoned");
+        match versions.iter_mut().find(|v| v.version == version) {
+            Some(boxed) => {
+                let ptr: *mut Versioned<T> = &mut **boxed;
+                self.current.store(ptr, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of versions parked in the slot (all remain pinnable).
+    pub fn versions_alive(&self) -> usize {
+        self.versions.lock().expect("LiveModel poisoned").len()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for LiveModel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveModel")
+            .field("version", &self.version())
+            .field("versions_alive", &self.versions_alive())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_and_rollback_swap_the_served_version() {
+        let slot = LiveModel::new("v1 payload");
+        assert_eq!(slot.version(), 1);
+        assert_eq!(*slot.load().value(), "v1 payload");
+
+        let pinned = slot.load();
+        assert_eq!(slot.publish("v2 payload"), 2);
+        assert_eq!(slot.version(), 2);
+        // The pre-swap pin still serves the old version.
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(*pinned.value(), "v1 payload");
+
+        assert!(slot.rollback_to(1));
+        assert_eq!(slot.version(), 1);
+        assert!(!slot.rollback_to(99));
+        assert_eq!(slot.versions_alive(), 2);
+    }
+
+    #[test]
+    fn explicit_version_ids_track_the_registry() {
+        let slot = LiveModel::new_as(7, 70u64);
+        assert_eq!(slot.version(), 7);
+        assert_eq!(slot.publish_as(9, 90), 9);
+        assert_eq!(**slot.load(), 90);
+        // Sequential publish continues past the explicit id.
+        assert_eq!(slot.publish(100), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already published")]
+    fn duplicate_version_ids_are_rejected() {
+        let slot = LiveModel::new(1u32);
+        slot.publish_as(1, 2);
+    }
+
+    /// Readers hammering `load` while a writer swaps must never observe
+    /// a torn pair: each version's payload is derived from its version
+    /// id, so any mismatch would prove a torn read.
+    #[test]
+    fn concurrent_swaps_never_tear() {
+        // Version 1's payload, matching the version * 1_000_003 invariant.
+        let slot = Arc::new(LiveModel::new(1_000_003u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let pin = slot.load();
+                        assert_eq!(
+                            *pin.value(),
+                            u64::from(pin.version()) * 1_000_003,
+                            "torn read"
+                        );
+                        seen = seen.max(pin.version());
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for v in 2..=50u32 {
+            slot.publish_as(v, u64::from(v) * 1_000_003);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(slot.version(), 50);
+        assert_eq!(slot.versions_alive(), 50);
+    }
+}

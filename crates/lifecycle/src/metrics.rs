@@ -1,0 +1,169 @@
+//! The `cgc_model_version` / `cgc_lifecycle_*` metric families.
+//!
+//! | family | type | labels | meaning |
+//! |---|---|---|---|
+//! | `cgc_model_version` | gauge | `model` | registry version serving live traffic |
+//! | `cgc_lifecycle_shadow_version` | gauge | — | candidate riding shadow (0 = none) |
+//! | `cgc_lifecycle_mirrored_total` | counter | `model` | decisions mirrored to the candidate |
+//! | `cgc_lifecycle_agreement_pct` | gauge | `model` | live/candidate agreement over mirrored decisions |
+//! | `cgc_lifecycle_accuracy_delta_milli` | gauge | `model` | candidate-minus-live truth-joined accuracy, in thousandths (negative = regression) |
+//! | `cgc_lifecycle_promotions_total` | counter | — | candidates promoted live |
+//! | `cgc_lifecycle_rollbacks_total` | counter | — | live versions rolled back |
+
+use std::sync::Arc;
+
+use cgc_obs::{Counter, Gauge, ModelKind, Registry};
+
+use crate::shadow::KindScore;
+
+/// Dense array index of a [`ModelKind`] (`ALL` order).
+pub(crate) fn kind_index(kind: ModelKind) -> usize {
+    match kind {
+        ModelKind::Title => 0,
+        ModelKind::Stage => 1,
+        ModelKind::Pattern => 2,
+    }
+}
+
+/// Pre-registered handles for the lifecycle metric families.
+#[derive(Debug, Clone)]
+pub struct LifecycleMetrics {
+    model_version: [Arc<Gauge>; 3],
+    shadow_version: Arc<Gauge>,
+    mirrored: [Arc<Counter>; 3],
+    agreement_pct: [Arc<Gauge>; 3],
+    accuracy_delta_milli: [Arc<Gauge>; 3],
+    promotions: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+}
+
+impl LifecycleMetrics {
+    /// Registers every lifecycle family in `registry` (idempotent: the
+    /// registry deduplicates by name + labels).
+    pub fn register(registry: &Registry) -> LifecycleMetrics {
+        let per_model = |name: &str, help: &str| {
+            ModelKind::ALL.map(|kind| registry.gauge_with(name, help, &[("model", kind.name())]))
+        };
+        LifecycleMetrics {
+            model_version: per_model(
+                "cgc_model_version",
+                "Model registry version currently serving live traffic",
+            ),
+            shadow_version: registry.gauge(
+                "cgc_lifecycle_shadow_version",
+                "Registry version riding shadow evaluation (0 = no candidate)",
+            ),
+            mirrored: ModelKind::ALL.map(|kind| {
+                registry.counter_with(
+                    "cgc_lifecycle_mirrored_total",
+                    "Live decisions mirrored to the shadow candidate",
+                    &[("model", kind.name())],
+                )
+            }),
+            agreement_pct: per_model(
+                "cgc_lifecycle_agreement_pct",
+                "Live/candidate agreement over mirrored decisions, percent",
+            ),
+            accuracy_delta_milli: per_model(
+                "cgc_lifecycle_accuracy_delta_milli",
+                "Candidate minus live truth-joined accuracy, thousandths (negative = candidate regresses)",
+            ),
+            promotions: registry.counter(
+                "cgc_lifecycle_promotions_total",
+                "Shadow candidates promoted to live",
+            ),
+            rollbacks: registry.counter(
+                "cgc_lifecycle_rollbacks_total",
+                "Live model versions rolled back",
+            ),
+        }
+    }
+
+    /// Stamps the version now serving live traffic on every model gauge
+    /// (the bundle swaps as a unit, so all three move together).
+    pub fn set_live_version(&self, version: u32) {
+        for gauge in &self.model_version {
+            gauge.set(i64::from(version));
+        }
+    }
+
+    /// Stamps (or clears, with `None`) the shadow candidate's version.
+    pub fn set_shadow_version(&self, version: Option<u32>) {
+        self.shadow_version.set(version.map_or(0, i64::from));
+    }
+
+    /// Publishes one kind's A/B scoreboard reading.
+    pub fn record_shadow_score(&self, score: &KindScore) {
+        let i = kind_index(score.kind);
+        // Counters only move forward: add the delta since last sync.
+        let behind = score.mirrored.saturating_sub(self.mirrored[i].get());
+        self.mirrored[i].add(behind);
+        self.agreement_pct[i].set((score.agreement * 100.0).round() as i64);
+        self.accuracy_delta_milli[i].set((score.accuracy_delta() * 1000.0).round() as i64);
+    }
+
+    /// Counts a promotion.
+    pub fn record_promotion(&self) {
+        self.promotions.inc();
+    }
+
+    /// Counts a rollback.
+    pub fn record_rollback(&self) {
+        self.rollbacks.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::AbScore;
+
+    #[test]
+    fn families_register_and_sync() {
+        let registry = Registry::new();
+        let metrics = LifecycleMetrics::register(&registry);
+        metrics.set_live_version(3);
+        metrics.set_shadow_version(Some(4));
+        metrics.record_promotion();
+
+        let ab = AbScore::new();
+        for _ in 0..10 {
+            ab.observe(ModelKind::Pattern, 1, 1, Some(1));
+        }
+        for _ in 0..10 {
+            ab.observe(ModelKind::Pattern, 0, 1, Some(1));
+        }
+        ab.sync(&metrics);
+        // Sync twice: counters must not double-count.
+        ab.sync(&metrics);
+
+        let text = cgc_obs::export::prometheus(&registry.snapshot());
+        assert!(
+            text.contains("cgc_model_version{model=\"title\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cgc_model_version{model=\"pattern\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("cgc_lifecycle_shadow_version 4"), "{text}");
+        assert!(
+            text.contains("cgc_lifecycle_mirrored_total{model=\"pattern\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cgc_lifecycle_agreement_pct{model=\"pattern\"} 50"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cgc_lifecycle_accuracy_delta_milli{model=\"pattern\"} 500"),
+            "{text}"
+        );
+        assert!(text.contains("cgc_lifecycle_promotions_total 1"), "{text}");
+        assert!(text.contains("cgc_lifecycle_rollbacks_total 0"), "{text}");
+
+        metrics.set_shadow_version(None);
+        let text = cgc_obs::export::prometheus(&registry.snapshot());
+        assert!(text.contains("cgc_lifecycle_shadow_version 0"), "{text}");
+    }
+}

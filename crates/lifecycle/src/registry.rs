@@ -1,0 +1,333 @@
+//! Versioned on-disk model registry.
+//!
+//! Each artifact is one file, `v<NNNNN>.json`, holding two JSON lines:
+//! the [`Manifest`] on line one and the serialized model payload on line
+//! two. The manifest records everything an operator needs to audit a
+//! rollout — version, train-set fingerprint, and per-forest descriptors
+//! (model kind, class space, flat-forest checksum) — plus an FNV-1a
+//! digest over the exact payload bytes. Loads verify twice: the byte
+//! digest catches storage corruption (bit flips, truncation), and the
+//! rebuilt flat-forest checksums catch semantic tampering that byte
+//! checks applied after the damage would miss. A damaged artifact is
+//! an error, never a quietly mis-classifying model.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a over raw bytes (the registry's storage-integrity digest).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Identity of one forest inside an artifact: which model it is, its
+/// class space, and the content digest of its flattened node table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelDescriptor {
+    /// Stable model name (`title` / `stage` / `pattern`).
+    pub model: String,
+    /// Number of classes the forest emits.
+    pub n_classes: usize,
+    /// [`mlcore::flat::FlatForest::checksum`] of the compiled forest.
+    pub flat_checksum: u64,
+}
+
+/// Per-version artifact metadata, stored as the file's first line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Registry version id (dense, starting at 1).
+    pub version: u32,
+    /// [`mlcore::data::Dataset::fingerprint`] of the training set (0
+    /// when unknown, e.g. a hand-imported artifact).
+    pub train_fingerprint: u64,
+    /// FNV-1a over the payload line's exact bytes.
+    pub payload_checksum: u64,
+    /// One descriptor per forest in the artifact.
+    pub models: Vec<ModelDescriptor>,
+}
+
+/// A value the registry can store: serializable, and able to describe
+/// the forests it carries so loads can verify them.
+pub trait Artifact: Serialize + Deserialize {
+    /// Descriptors of every forest in this artifact, in a stable order.
+    fn descriptors(&self) -> Vec<ModelDescriptor>;
+}
+
+fn corrupt(version: u32, what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("registry artifact v{version}: {what}"),
+    )
+}
+
+/// A directory of versioned, checksummed model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ModelRegistry> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ModelRegistry { dir })
+    }
+
+    /// Directory this registry stores artifacts in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path_of(&self, version: u32) -> PathBuf {
+        self.dir.join(format!("v{version:05}.json"))
+    }
+
+    /// Stores `artifact` as the next version and returns its manifest.
+    pub fn store<T: Artifact>(&self, artifact: &T, train_fingerprint: u64) -> io::Result<Manifest> {
+        let version = self.latest()?.map_or(0, |m| m.version) + 1;
+        let payload = serde::write_compact(&artifact.to_value());
+        let manifest = Manifest {
+            version,
+            train_fingerprint,
+            payload_checksum: fnv1a(payload.as_bytes()),
+            models: artifact.descriptors(),
+        };
+        let head = serde::write_compact(&manifest.to_value());
+        let tmp = self.dir.join(format!(".v{version:05}.tmp"));
+        fs::write(&tmp, format!("{head}\n{payload}\n"))?;
+        fs::rename(&tmp, self.path_of(version))?;
+        Ok(manifest)
+    }
+
+    /// Loads and fully verifies one version.
+    pub fn load<T: Artifact>(&self, version: u32) -> io::Result<(T, Manifest)> {
+        let text = fs::read_to_string(self.path_of(version))?;
+        let (head, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt(version, "missing payload line"))?;
+        let payload = payload.strip_suffix('\n').unwrap_or(payload);
+        let manifest: Manifest = serde_json::from_str(head)
+            .map_err(|e| corrupt(version, format_args!("bad manifest: {e}")))?;
+        if manifest.version != version {
+            return Err(corrupt(
+                version,
+                format_args!("manifest claims v{}", manifest.version),
+            ));
+        }
+        let digest = fnv1a(payload.as_bytes());
+        if digest != manifest.payload_checksum {
+            return Err(corrupt(
+                version,
+                format_args!(
+                    "payload checksum mismatch ({digest:#018x} != {:#018x})",
+                    manifest.payload_checksum
+                ),
+            ));
+        }
+        let artifact: T = serde_json::from_str(payload)
+            .map_err(|e| corrupt(version, format_args!("bad payload: {e}")))?;
+        let rebuilt = artifact.descriptors();
+        if rebuilt != manifest.models {
+            return Err(corrupt(
+                version,
+                format_args!(
+                    "forest descriptors diverge from manifest ({rebuilt:?} != {:?})",
+                    manifest.models
+                ),
+            ));
+        }
+        Ok((artifact, manifest))
+    }
+
+    /// All stored manifests, ascending by version. Unreadable files are
+    /// surfaced as errors; alien files in the directory are ignored.
+    pub fn list(&self) -> io::Result<Vec<Manifest>> {
+        let mut versions = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(v) = name
+                .strip_prefix('v')
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|r| r.parse::<u32>().ok())
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        versions
+            .into_iter()
+            .map(|v| {
+                let text = fs::read_to_string(self.path_of(v))?;
+                let head = text
+                    .split_once('\n')
+                    .map_or(text.as_str(), |(head, _)| head);
+                serde_json::from_str(head)
+                    .map_err(|e| corrupt(v, format_args!("bad manifest: {e}")))
+            })
+            .collect()
+    }
+
+    /// Manifest of the newest stored version, if any.
+    pub fn latest(&self) -> io::Result<Option<Manifest>> {
+        Ok(self.list()?.into_iter().last())
+    }
+
+    /// Deletes all but the newest `keep_last` artifacts; returns how
+    /// many were removed.
+    pub fn prune(&self, keep_last: usize) -> io::Result<usize> {
+        let manifests = self.list()?;
+        let drop_n = manifests.len().saturating_sub(keep_last);
+        for m in &manifests[..drop_n] {
+            fs::remove_file(self.path_of(m.version))?;
+        }
+        Ok(drop_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::data::Dataset;
+    use mlcore::flat::FlatForest;
+    use mlcore::forest::{RandomForest, RandomForestConfig};
+    use mlcore::Classifier;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "cgc-lifecycle-registry-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[derive(Debug, Serialize, Deserialize)]
+    struct ToyArtifact {
+        forest: FlatForest,
+    }
+
+    impl Artifact for ToyArtifact {
+        fn descriptors(&self) -> Vec<ModelDescriptor> {
+            vec![ModelDescriptor {
+                model: "toy".into(),
+                n_classes: self.forest.n_classes(),
+                flat_checksum: self.forest.checksum(),
+            }]
+        }
+    }
+
+    fn toy(seed: u64) -> ToyArtifact {
+        let data = Dataset::new(
+            (0..60)
+                .map(|i| vec![f64::from(i % 3) + (i as f64) * 1e-3, seed as f64])
+                .collect(),
+            (0..60).map(|i| i % 3).collect(),
+        );
+        let forest = RandomForest::fit(
+            &data,
+            &RandomForestConfig {
+                n_trees: 5,
+                seed,
+                ..Default::default()
+            },
+        );
+        ToyArtifact {
+            forest: forest.into_flat(),
+        }
+    }
+
+    #[test]
+    fn store_load_list_prune_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(reg.latest().unwrap().is_none());
+
+        let m1 = reg.store(&toy(1), 0xAAAA).unwrap();
+        let m2 = reg.store(&toy(2), 0xBBBB).unwrap();
+        let m3 = reg.store(&toy(3), 0xCCCC).unwrap();
+        assert_eq!((m1.version, m2.version, m3.version), (1, 2, 3));
+
+        let (art, manifest) = reg.load::<ToyArtifact>(2).unwrap();
+        assert_eq!(manifest.train_fingerprint, 0xBBBB);
+        assert_eq!(art.forest.checksum(), toy(2).forest.checksum());
+
+        let listed = reg.list().unwrap();
+        assert_eq!(
+            listed.iter().map(|m| m.version).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(reg.latest().unwrap().unwrap().version, 3);
+
+        assert_eq!(reg.prune(1).unwrap(), 2);
+        assert_eq!(reg.list().unwrap().len(), 1);
+        assert!(reg.load::<ToyArtifact>(1).is_err());
+        assert!(reg.load::<ToyArtifact>(3).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_rejected() {
+        let dir = scratch_dir("corrupt");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let manifest = reg.store(&toy(9), 7).unwrap();
+        let path = reg.path_of(manifest.version);
+        let pristine = fs::read_to_string(&path).unwrap();
+
+        // Bit-flip inside the payload: byte checksum catches it.
+        let mut bytes = pristine.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = reg.load::<ToyArtifact>(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        // Truncation: parse or checksum failure, never a model.
+        fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        assert!(reg.load::<ToyArtifact>(1).is_err());
+
+        // Intact file loads again.
+        fs::write(&path, &pristine).unwrap();
+        assert!(reg.load::<ToyArtifact>(1).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn descriptor_divergence_is_rejected() {
+        let dir = scratch_dir("descriptor");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.store(&toy(4), 7).unwrap();
+        let path = reg.path_of(1);
+        let text = fs::read_to_string(&path).unwrap();
+        let (head, payload) = text.split_once('\n').unwrap();
+        // Re-checksum a *swapped* payload so the byte digest passes but
+        // the manifest's forest descriptors no longer match: only the
+        // semantic check can catch this.
+        let other = serde::write_compact(&toy(5).to_value());
+        let patched_head = head.replace(
+            &format!(
+                "\"payload_checksum\":{}",
+                fnv1a(payload.trim_end().as_bytes())
+            ),
+            &format!("\"payload_checksum\":{}", fnv1a(other.as_bytes())),
+        );
+        assert_ne!(patched_head, head, "test must actually patch the digest");
+        fs::write(&path, format!("{patched_head}\n{other}\n")).unwrap();
+        let err = reg.load::<ToyArtifact>(1).unwrap_err();
+        assert!(
+            err.to_string().contains("descriptors diverge"),
+            "unexpected error: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

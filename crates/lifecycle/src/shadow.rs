@@ -1,0 +1,277 @@
+//! A/B shadow evaluation: live-vs-candidate agreement and truth-joined
+//! accuracy deltas.
+//!
+//! While a candidate model rides shadow, the deploy layer mirrors every
+//! live decision to it and records both answers here — plus the ground
+//! truth where the replay harness knows it. [`AbScore`] is a lock-free
+//! accumulator (relaxed atomics, safe to share across fleet workers);
+//! [`AbScore::assess`] turns the counters into a promote/hold verdict,
+//! and [`AbScore::sync`] publishes them as `cgc_lifecycle_*` gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cgc_obs::ModelKind;
+
+use crate::metrics::{kind_index, LifecycleMetrics};
+
+/// Mirrored-decision counters for one model kind.
+#[derive(Debug, Default)]
+struct KindCounters {
+    /// Decisions mirrored to the candidate.
+    n: AtomicU64,
+    /// Mirrored decisions where both models answered the same class.
+    agree: AtomicU64,
+    /// Mirrored decisions with ground truth attached.
+    truth_n: AtomicU64,
+    /// Truth-joined decisions the live model got right.
+    live_correct: AtomicU64,
+    /// Truth-joined decisions the candidate got right.
+    cand_correct: AtomicU64,
+}
+
+/// Point-in-time reading of one model kind's A/B counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindScore {
+    /// Model the counters describe.
+    pub kind: ModelKind,
+    /// Decisions mirrored to the candidate.
+    pub mirrored: u64,
+    /// Live/candidate agreement ratio over mirrored decisions (1.0 when
+    /// nothing was mirrored yet).
+    pub agreement: f64,
+    /// Truth-joined sample count.
+    pub truth_n: u64,
+    /// Live model accuracy over the truth-joined samples.
+    pub live_accuracy: f64,
+    /// Candidate accuracy over the truth-joined samples.
+    pub cand_accuracy: f64,
+}
+
+impl KindScore {
+    /// Candidate-minus-live accuracy delta (positive = candidate wins).
+    pub fn accuracy_delta(&self) -> f64 {
+        self.cand_accuracy - self.live_accuracy
+    }
+}
+
+/// The promote/hold decision for a shadow candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The candidate is safe and better: swap it live.
+    Promote,
+    /// Keep the live model; see [`Assessment::reason`].
+    Hold,
+}
+
+/// A verdict plus the evidence it was reached on.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Promote or hold.
+    pub verdict: Verdict,
+    /// Human-readable justification (surfaced on `/models`).
+    pub reason: String,
+    /// Per-kind scores backing the verdict.
+    pub scores: Vec<KindScore>,
+}
+
+/// Lock-free live-vs-candidate scoreboard shared across fleet workers.
+#[derive(Debug, Default)]
+pub struct AbScore {
+    per: [KindCounters; 3],
+}
+
+/// Truth-joined samples a kind needs before its delta is trusted.
+const MIN_TRUTH_SAMPLES: u64 = 20;
+/// Accuracy loss (absolute) beyond which a kind blocks promotion.
+const REGRESSION_FLOOR: f64 = 0.02;
+
+impl AbScore {
+    /// Creates an empty scoreboard.
+    pub fn new() -> AbScore {
+        AbScore::default()
+    }
+
+    /// Records one mirrored decision: the class each model answered,
+    /// plus the ground-truth class when the harness knows it.
+    pub fn observe(&self, kind: ModelKind, live: u16, candidate: u16, truth: Option<u16>) {
+        let c = &self.per[kind_index(kind)];
+        c.n.fetch_add(1, Ordering::Relaxed);
+        if live == candidate {
+            c.agree.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t) = truth {
+            c.truth_n.fetch_add(1, Ordering::Relaxed);
+            if live == t {
+                c.live_correct.fetch_add(1, Ordering::Relaxed);
+            }
+            if candidate == t {
+                c.cand_correct.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current counters for one model kind.
+    pub fn score(&self, kind: ModelKind) -> KindScore {
+        let c = &self.per[kind_index(kind)];
+        let n = c.n.load(Ordering::Relaxed);
+        let truth_n = c.truth_n.load(Ordering::Relaxed);
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        KindScore {
+            kind,
+            mirrored: n,
+            agreement: ratio(c.agree.load(Ordering::Relaxed), n),
+            truth_n,
+            live_accuracy: ratio(c.live_correct.load(Ordering::Relaxed), truth_n),
+            cand_accuracy: ratio(c.cand_correct.load(Ordering::Relaxed), truth_n),
+        }
+    }
+
+    /// Scores for every tracked model kind.
+    pub fn scores(&self) -> Vec<KindScore> {
+        ModelKind::ALL.iter().map(|&k| self.score(k)).collect()
+    }
+
+    /// Reaches a promote/hold verdict from the current counters.
+    ///
+    /// Promotion requires every kind with enough truth-joined samples
+    /// (≥ 20) to hold within two accuracy points of live, and at least
+    /// one such kind to strictly improve. Anything thinner than that —
+    /// including no truth joins at all — holds: shadow evaluation is an
+    /// evidence gate, and absence of evidence holds the line.
+    pub fn assess(&self) -> Assessment {
+        let scores = self.scores();
+        let evaluated: Vec<&KindScore> = scores
+            .iter()
+            .filter(|s| s.truth_n >= MIN_TRUTH_SAMPLES)
+            .collect();
+        if evaluated.is_empty() {
+            return Assessment {
+                verdict: Verdict::Hold,
+                reason: format!(
+                    "insufficient evidence: no model reached {MIN_TRUTH_SAMPLES} truth-joined samples"
+                ),
+                scores,
+            };
+        }
+        if let Some(worst) = evaluated
+            .iter()
+            .find(|s| s.accuracy_delta() < -REGRESSION_FLOOR)
+        {
+            let reason = format!(
+                "candidate regresses {} accuracy by {:.1} points ({} truth-joined samples)",
+                worst.kind.name(),
+                -worst.accuracy_delta() * 100.0,
+                worst.truth_n
+            );
+            return Assessment {
+                verdict: Verdict::Hold,
+                reason,
+                scores,
+            };
+        }
+        match evaluated
+            .iter()
+            .max_by(|a, b| a.accuracy_delta().total_cmp(&b.accuracy_delta()))
+            .filter(|best| best.accuracy_delta() > 0.0)
+        {
+            Some(best) => Assessment {
+                verdict: Verdict::Promote,
+                reason: format!(
+                    "candidate improves {} accuracy by {:.1} points ({} truth-joined samples), no model regresses",
+                    best.kind.name(),
+                    best.accuracy_delta() * 100.0,
+                    best.truth_n
+                ),
+                scores,
+            },
+            None => Assessment {
+                verdict: Verdict::Hold,
+                reason: "candidate shows no accuracy improvement over live".into(),
+                scores,
+            },
+        }
+    }
+
+    /// Publishes the scoreboard into the `cgc_lifecycle_*` gauge and
+    /// counter families.
+    pub fn sync(&self, metrics: &LifecycleMetrics) {
+        for score in self.scores() {
+            metrics.record_shadow_score(&score);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(score: &AbScore, kind: ModelKind, n: u64, live_ok: u64, cand_ok: u64) {
+        // Disagreements are exactly the decisions where one side is
+        // right and the other wrong; the rest agree.
+        for i in 0..n {
+            let truth = 1u16;
+            let live = if i < live_ok { 1 } else { 0 };
+            let cand = if i < cand_ok { 1 } else { 0 };
+            score.observe(kind, live, cand, Some(truth));
+        }
+    }
+
+    #[test]
+    fn empty_scoreboard_holds() {
+        let ab = AbScore::new();
+        let a = ab.assess();
+        assert_eq!(a.verdict, Verdict::Hold);
+        assert!(a.reason.contains("insufficient evidence"), "{}", a.reason);
+    }
+
+    #[test]
+    fn improving_candidate_promotes() {
+        let ab = AbScore::new();
+        feed(&ab, ModelKind::Pattern, 100, 60, 90);
+        feed(&ab, ModelKind::Title, 100, 95, 95);
+        let a = ab.assess();
+        assert_eq!(a.verdict, Verdict::Promote, "{}", a.reason);
+        assert!(a.reason.contains("pattern"), "{}", a.reason);
+        let s = ab.score(ModelKind::Pattern);
+        assert_eq!(s.mirrored, 100);
+        assert!((s.accuracy_delta() - 0.30).abs() < 1e-9);
+        assert!((s.agreement - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_on_any_kind_blocks_promotion() {
+        let ab = AbScore::new();
+        feed(&ab, ModelKind::Pattern, 100, 60, 90);
+        feed(&ab, ModelKind::Title, 100, 95, 80);
+        let a = ab.assess();
+        assert_eq!(a.verdict, Verdict::Hold);
+        assert!(a.reason.contains("regresses title"), "{}", a.reason);
+    }
+
+    #[test]
+    fn flat_candidate_holds() {
+        let ab = AbScore::new();
+        feed(&ab, ModelKind::Stage, 50, 40, 40);
+        let a = ab.assess();
+        assert_eq!(a.verdict, Verdict::Hold);
+        assert!(a.reason.contains("no accuracy improvement"), "{}", a.reason);
+    }
+
+    #[test]
+    fn thin_evidence_is_ignored_per_kind() {
+        let ab = AbScore::new();
+        // 10 samples of a catastrophic regression: below the evidence
+        // floor, so it neither blocks nor promotes.
+        feed(&ab, ModelKind::Title, 10, 10, 0);
+        assert_eq!(ab.assess().verdict, Verdict::Hold);
+        // A well-evidenced improvement elsewhere still promotes.
+        feed(&ab, ModelKind::Pattern, 100, 60, 90);
+        assert_eq!(ab.assess().verdict, Verdict::Promote);
+    }
+}

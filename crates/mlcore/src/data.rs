@@ -72,6 +72,31 @@ impl Dataset {
         self.x.first().map_or(0, Vec::len)
     }
 
+    /// FNV-1a digest over every sample (features via IEEE bit patterns)
+    /// plus labels and the class count. Two training sets fingerprint
+    /// equal iff they hold the same rows in the same order — the model
+    /// registry stamps this into each artifact's manifest so an operator
+    /// can tell retrained-on-new-data from re-serialized-same-data.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        mix(&mut h, self.x.len() as u64);
+        for (row, &label) in self.x.iter().zip(&self.y) {
+            mix(&mut h, row.len() as u64);
+            for &f in row {
+                mix(&mut h, f.to_bits());
+            }
+            mix(&mut h, label as u64);
+        }
+        mix(&mut h, self.n_classes as u64);
+        h
+    }
+
     /// Appends another dataset with the same schema.
     ///
     /// # Panics

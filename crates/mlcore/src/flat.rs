@@ -152,6 +152,45 @@ impl FlatForest {
         self.n_features
     }
 
+    /// FNV-1a digest over the complete node table in a fixed field order,
+    /// with each array length mixed in before its elements. Floats hash
+    /// via their IEEE bit patterns, so any payload mutation — a flipped
+    /// bit, a re-quantized threshold, a truncated proba table — changes
+    /// the digest. The model registry stores this per-forest and verifies
+    /// it after every disk round-trip; see `serde_artifacts` tests.
+    pub fn checksum(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (len, words) in [
+            (self.feature.len(), &self.feature),
+            (self.child.len(), &self.child),
+            (self.roots.len(), &self.roots),
+            (self.depths.len(), &self.depths),
+        ] {
+            mix(&mut h, len as u64);
+            for &w in words {
+                mix(&mut h, u64::from(w));
+            }
+        }
+        for (len, floats) in [
+            (self.threshold.len(), &self.threshold),
+            (self.proba.len(), &self.proba),
+        ] {
+            mix(&mut h, len as u64);
+            for &f in floats {
+                mix(&mut h, f.to_bits());
+            }
+        }
+        mix(&mut h, self.n_classes as u64);
+        mix(&mut h, self.n_features as u64);
+        h
+    }
+
     /// Walks one tree to its leaf for `x`, returning the leaf node index.
     #[inline]
     fn descend(&self, root: u32, x: &[f64]) -> usize {

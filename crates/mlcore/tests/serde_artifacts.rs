@@ -1,0 +1,140 @@
+//! On-disk artifact-format contract for the model registry: forest
+//! serialization must round-trip bit-identically, and any damaged
+//! artifact — truncated, field-stripped, or value-tampered — must fail
+//! loudly at load or be caught by the flat-forest checksum, never load
+//! quietly into a mis-classifying model.
+
+use mlcore::data::Dataset;
+use mlcore::flat::FlatForest;
+use mlcore::forest::{RandomForest, RandomForestConfig};
+use mlcore::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blobs(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = [(0.0, 0.0), (4.0, 4.0), (0.0, 4.0)];
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let c = rng.gen_range(0..3);
+        let (cx, cy) = centers[c];
+        x.push(vec![
+            cx + rng.gen_range(-1.0f64..1.0),
+            cy + rng.gen_range(-1.0f64..1.0),
+        ]);
+        y.push(c);
+    }
+    Dataset::new(x, y)
+}
+
+fn fitted(seed: u64) -> (FlatForest, Dataset) {
+    let d = blobs(seed, 160);
+    let f = RandomForest::fit(
+        &d,
+        &RandomForestConfig {
+            n_trees: 10,
+            seed,
+            ..Default::default()
+        },
+    );
+    (f.into_flat(), d)
+}
+
+#[test]
+fn pointer_forest_roundtrips_bit_identically() {
+    let d = blobs(11, 160);
+    let f = RandomForest::fit(
+        &d,
+        &RandomForestConfig {
+            n_trees: 8,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let json = serde_json::to_string(&f).unwrap();
+    let back: RandomForest = serde_json::from_str(&json).unwrap();
+    for x in &d.x {
+        assert_eq!(f.predict_proba(x), back.predict_proba(x));
+    }
+    assert_eq!(f.to_flat().checksum(), back.to_flat().checksum());
+}
+
+#[test]
+fn flat_forest_roundtrip_preserves_checksum_and_predictions() {
+    let (flat, d) = fitted(12);
+    let json = serde_json::to_string(&flat).unwrap();
+    let back: FlatForest = serde_json::from_str(&json).unwrap();
+    assert_eq!(flat.checksum(), back.checksum());
+    for x in &d.x {
+        assert_eq!(flat.predict_proba(x), back.predict_proba(x));
+    }
+}
+
+#[test]
+fn checksum_is_content_sensitive() {
+    let (a, _) = fitted(13);
+    let (b, _) = fitted(14);
+    assert_ne!(a.checksum(), b.checksum(), "distinct forests must differ");
+    // Stability: the digest is a pure function of the payload.
+    let json = serde_json::to_string(&a).unwrap();
+    let back: FlatForest = serde_json::from_str(&json).unwrap();
+    assert_eq!(a.checksum(), back.checksum());
+}
+
+#[test]
+fn truncated_artifact_is_rejected() {
+    let (flat, _) = fitted(15);
+    let json = serde_json::to_string(&flat).unwrap();
+    for keep in [0, 1, json.len() / 4, json.len() / 2, json.len() - 1] {
+        let cut = &json[..keep];
+        assert!(
+            serde_json::from_str::<FlatForest>(cut).is_err(),
+            "truncation at {keep}/{} must not parse",
+            json.len()
+        );
+    }
+}
+
+#[test]
+fn field_stripped_artifact_is_rejected() {
+    let (flat, _) = fitted(16);
+    let json = serde_json::to_string(&flat).unwrap();
+    for field in ["feature", "threshold", "child", "roots", "proba"] {
+        // Rename the field so the payload stays valid JSON but the
+        // struct decoder cannot find it.
+        let broken = json.replacen(&format!("\"{field}\""), "\"_damaged\"", 1);
+        assert!(
+            serde_json::from_str::<FlatForest>(&broken).is_err(),
+            "missing `{field}` must not parse"
+        );
+    }
+}
+
+#[test]
+fn value_tampering_changes_the_checksum() {
+    let (flat, _) = fitted(17);
+    let original = flat.checksum();
+    let json = serde_json::to_string(&flat).unwrap();
+    // Flip one stored threshold digit — the kind of silent corruption a
+    // byte-level checksum on the file can miss if applied after the
+    // damage. Parsing may still succeed; the flat checksum must differ.
+    let anchor = "\"threshold\":[";
+    let at = json.find(anchor).unwrap() + anchor.len();
+    let mut bytes = json.into_bytes();
+    let digit = bytes[at..]
+        .iter()
+        .position(|b| b.is_ascii_digit())
+        .map(|o| at + o)
+        .unwrap();
+    bytes[digit] = if bytes[digit] == b'9' { b'8' } else { b'9' };
+    let tampered = String::from_utf8(bytes).unwrap();
+    match serde_json::from_str::<FlatForest>(&tampered) {
+        Err(_) => {} // rejected outright: also fine
+        Ok(back) => assert_ne!(
+            back.checksum(),
+            original,
+            "tampered payload must not verify"
+        ),
+    }
+}

@@ -103,6 +103,16 @@ pub enum EventKind {
         /// Platform inferred from the port signature.
         platform: Platform,
     },
+    /// Which model-registry version the flow's analyzer pinned at
+    /// admission (emitted right after `FlowAdmitted` when the monitor
+    /// serves from a hot-swappable [`LiveModel`] slot, so journal
+    /// timelines attribute every later decision to a model version).
+    ///
+    /// [`LiveModel`]: https://docs.rs/cgc-lifecycle
+    ModelVersion {
+        /// Registry version id the flow will classify on.
+        version: u32,
+    },
     /// A UDP payload on a gaming port failed RTP validation (nettrace
     /// decode path; `payload_len` is the raw UDP payload length).
     RtpInvalid {
@@ -170,6 +180,7 @@ impl EventKind {
         match self {
             EventKind::FlowAdmitted { .. } => "flow_admitted",
             EventKind::RtpInvalid { .. } => "rtp_invalid",
+            EventKind::ModelVersion { .. } => "model_version",
             EventKind::LaunchWindowClosed { .. } => "launch_window_closed",
             EventKind::TitleDecided { .. } => "title_decided",
             EventKind::StageEntered { .. } => "stage_entered",
@@ -187,6 +198,7 @@ impl fmt::Display for EventKind {
             EventKind::FlowAdmitted { addr, platform } => {
                 write!(f, "admitted [{platform}] {addr}")
             }
+            EventKind::ModelVersion { version } => write!(f, "model v{version}"),
             EventKind::RtpInvalid { payload_len } => {
                 write!(f, "rtp invalid ({payload_len} B payload)")
             }
@@ -277,6 +289,9 @@ impl Serialize for Event {
                     fields.extend(pairs);
                 }
                 fields.push(("platform".into(), Value::String(platform.to_string())));
+            }
+            EventKind::ModelVersion { version } => {
+                fields.push(("version".into(), Value::UInt(u64::from(*version))));
             }
             EventKind::RtpInvalid { payload_len } => {
                 fields.push(("payload_len".into(), Value::UInt(u64::from(*payload_len))));

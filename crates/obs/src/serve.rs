@@ -20,6 +20,8 @@
 //!   (rolling accuracy/precision/recall per model; 404 without a hub)
 //! - `GET /drift` — label-free drift report as JSON (PSI/KS/novelty per
 //!   model; 404 without an engine)
+//! - `GET /models` — model-lifecycle status as JSON (live/shadow
+//!   registry versions, manifests, A/B verdict; 404 without a registry)
 //!
 //! The snapshot comes from a caller-supplied closure so the server works
 //! against the global registry, a private fleet registry, or anything
@@ -60,6 +62,13 @@ pub struct ServeOptions {
     /// Appends the build line to `/healthz` and keeps the uptime gauge
     /// fresh on every request.
     pub build: Option<Arc<BuildInfo>>,
+    /// Backs `/models`: a closure producing the model-lifecycle status
+    /// report as a JSON string (live/shadow versions, registry
+    /// manifests, A/B verdict). The route answers 404 when absent, or
+    /// when the closure returns `None` (lifecycle wired but no registry
+    /// open yet). A closure — rather than a concrete type — keeps `obs`
+    /// below the lifecycle crate in the dependency order.
+    pub models: Option<Arc<dyn Fn() -> Option<String> + Send + Sync>>,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -71,6 +80,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("quality", &self.quality.is_some())
             .field("drift", &self.drift.is_some())
             .field("build", &self.build.is_some())
+            .field("models", &self.models.is_some())
             .finish()
     }
 }
@@ -236,6 +246,14 @@ fn handle_conn<F: Fn() -> Snapshot>(stream: &mut TcpStream, snapshot: &F, option
                 "404 Not Found",
                 "text/plain",
                 "no drift engine installed\n".to_string(),
+            ),
+        },
+        "/models" => match options.models.as_ref().and_then(|report| report()) {
+            Some(body) => ("200 OK", "application/json", body),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no model registry installed\n".to_string(),
             ),
         },
         "/journal" => match &options.journal {

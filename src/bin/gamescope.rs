@@ -7,6 +7,7 @@
 //! gamescope classify --pcap s.pcap [--bundle bundle.json]
 //! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
 //!                 [--serve 127.0.0.1:9090] [--journal fleet.jsonl]
+//!                 [--registry models/] [--promote auto|manual] [--retrain]
 //! gamescope fleet --replay s.pcap|sim [--pace 1.0] [--backpressure block]
 //! gamescope fleet --replay merge --input a.pcap --input b.pcap@-1500
 //! ```
@@ -37,7 +38,10 @@ use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use gamescope::deploy::fleet::{build_tap_feed, run_fleet, FleetConfig, TapFleetConfig};
+use gamescope::deploy::fleet::{
+    build_tap_feed, run_fleet, run_fleet_with_models, FleetConfig, FleetModels, TapFleetConfig,
+};
+use gamescope::deploy::lifecycle::{self, LifecyclePilot, PromotePolicy};
 use gamescope::deploy::report::{journal_table, metrics_table, quality_table, trace_table};
 use gamescope::deploy::train::{train_bundle, TrainConfig};
 use gamescope::domain::{GameTitle, QoeLevel, StreamSettings};
@@ -48,7 +52,7 @@ use gamescope::ingest::{
 use gamescope::obs;
 use gamescope::pipeline::monitor::{MonitorConfig, TapMonitor};
 use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
-use gamescope::pipeline::ModelBundle;
+use gamescope::pipeline::{ModelBundle, ModelSource};
 use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
 use gamescope::trace::clock::RealClock;
 use gamescope::trace::pcap;
@@ -98,6 +102,7 @@ USAGE:
   gamescope classify --pcap <s.pcap> [--bundle <bundle.json>] [--quick]
   gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
                      [--telemetry-every <n>] [--serve <addr>]
+                     [--registry <dir>] [--promote <auto|manual>] [--retrain]
   gamescope fleet    --replay <s.pcap|sim|merge> [--pace <x>] [--shards <n>]
                      [--backpressure <block|drop-oldest|drop-newest>]
                      [--queues <n>] [--queue-capacity <n>] [--secs <n>]
@@ -131,6 +136,21 @@ FLEET REPLAY:
   --shards <n>         monitor worker shards
   --secs <n>           gameplay seconds per simulated session (sim source)
 
+FLEET LIFECYCLE:
+  --registry <dir>     serve models from a versioned on-disk registry
+                       through a hot-swappable slot: the newest stored
+                       version is loaded (the bundle seeds v1 on first
+                       run), and a drift alarm triggers a shadow retrain
+                       from the run's journaled decisions, A/B shadow
+                       evaluation on fresh traffic, and a promote/hold
+                       verdict; the registry and verdict are served on
+                       /models when --serve is given
+  --promote <policy>   what to do with a Promote verdict: 'manual'
+                       (default) only reports it, 'auto' hot-swaps the
+                       candidate live with zero pipeline stall
+  --retrain            force the shadow retrain even without a drift
+                       alarm
+
 Ctrl-C during fleet or replay triggers a graceful drain: in-flight work
 finishes, queues empty, and open flows get final session verdicts.
 
@@ -148,7 +168,7 @@ OPTIONS (all subcommands):
   --trace-table        print sampled span timelines as an aligned table
                        on stderr (implies --trace-sample 1 unless given)
   --serve <addr>       serve GET /metrics, /healthz, /slo, /journal,
-                       /quality, /drift and /trace (filter with
+                       /quality, /drift, /models and /trace (filter with
                        ?flow=<hex>&slot=<n>) over HTTP (e.g.
                        127.0.0.1:9090; port 0 picks a free port) while
                        the command runs
@@ -576,7 +596,41 @@ fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
     if let Some(v) = take_value(&mut args, "--telemetry-every")? {
         cfg.telemetry_every = parse("--telemetry-every", &v)?;
     }
+    let registry_dir = take_value(&mut args, "--registry")?;
+    let promote_policy = match take_value(&mut args, "--promote")? {
+        Some(v) => PromotePolicy::parse(&v)
+            .ok_or_else(|| format!("--promote: {v:?} is not auto|manual"))?,
+        None => PromotePolicy::Manual,
+    };
+    let force_retrain = take_flag(&mut args, "--retrain");
     reject_extra(&args)?;
+    if registry_dir.is_none() && (force_retrain || promote_policy != PromotePolicy::Manual) {
+        return Err("--retrain/--promote require --registry <dir>".into());
+    }
+
+    // With a registry, the fleet serves from a hot-swappable slot under a
+    // lifecycle pilot (installed process-wide so /models can see it);
+    // without one, the classic fixed-bundle path.
+    let pilot: Option<Arc<LifecyclePilot>> = match &registry_dir {
+        Some(dir) => {
+            let pilot = LifecyclePilot::open(
+                dir,
+                bundle.clone(),
+                0, // CLI bundles arrive trained; their dataset is unknown
+                obs::Registry::global(),
+                promote_policy,
+            )
+            .map_err(|e| format!("opening model registry {dir}: {e}"))?;
+            let pilot = lifecycle::install_global(Arc::new(pilot));
+            eprintln!(
+                "lifecycle: serving model v{} from registry {dir} (promote: {})",
+                pilot.live().version(),
+                promote_policy.name()
+            );
+            Some(pilot)
+        }
+        None => None,
+    };
     cfg.cancel = Some(Arc::new(std::sync::atomic::AtomicBool::new(false)));
     if let Some(flag) = &cfg.cancel {
         // Bridge the process-wide Ctrl-C flag into the fleet's cancel
@@ -595,7 +649,76 @@ fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
     }
 
     eprintln!("simulating {} sessions...", cfg.n_sessions);
-    let records = run_fleet(&bundle, &cfg);
+    let records = match &pilot {
+        Some(pilot) => run_fleet_with_models(
+            FleetModels {
+                source: ModelSource::Live(pilot.live()),
+                shadow: None,
+            },
+            &cfg,
+        ),
+        None => run_fleet(&bundle, &cfg),
+    };
+
+    // The lifecycle loop: a drift alarm (or --retrain) re-labels this
+    // run's journaled decisions into a training set, fits a candidate,
+    // rides it shadow on a fresh slice of traffic, and acts on the
+    // verdict per --promote.
+    if let Some(pilot) = &pilot {
+        obs::drift::sync_global();
+        let drift_alarms: Vec<String> = obs::drift::global()
+            .map(|(_, engine)| {
+                let report = obs::drift::lock_engine(engine).report();
+                report.alarms().iter().map(|s| s.to_string()).collect()
+            })
+            .unwrap_or_default();
+        if (force_retrain || !drift_alarms.is_empty()) && !sig::interrupted() {
+            eprintln!(
+                "lifecycle: {} — fitting a shadow candidate off-thread...",
+                if drift_alarms.is_empty() {
+                    "retrain requested".to_string()
+                } else {
+                    format!("drift alarm on {}", drift_alarms.join(", "))
+                }
+            );
+            let handle = pilot.shadow_retrain(records.clone());
+            match handle.join().expect("retrain thread panicked") {
+                Ok(version) => {
+                    let shadow = pilot.shadow().expect("candidate armed");
+                    eprintln!(
+                        "lifecycle: candidate v{version} registered; shadow-evaluating on fresh traffic..."
+                    );
+                    let eval_cfg = FleetConfig {
+                        n_sessions: cfg.n_sessions.clamp(1, 120),
+                        seed: cfg.seed ^ 0x5A5A,
+                        telemetry_every: 0,
+                        ..cfg.clone()
+                    };
+                    run_fleet_with_models(
+                        FleetModels {
+                            source: ModelSource::Live(pilot.live()),
+                            shadow: Some(&shadow),
+                        },
+                        &eval_cfg,
+                    );
+                    if let Some((assessment, promoted)) = pilot.evaluate() {
+                        eprintln!("lifecycle: verdict — {}", assessment.reason);
+                        match promoted {
+                            Some(v) => eprintln!(
+                                "lifecycle: promoted v{v} live (previous version stays parked for instant rollback)"
+                            ),
+                            None => eprintln!(
+                                "lifecycle: holding v{} live (candidate v{version} stays in the registry)",
+                                pilot.live().version()
+                            ),
+                        }
+                    }
+                }
+                Err(e) => eprintln!("lifecycle: retrain skipped: {e}"),
+            }
+        }
+    }
+
     if let Some(flag) = &cfg.cancel {
         // Unblock the Ctrl-C watcher thread on the normal-completion path.
         flag.store(true, Ordering::Relaxed);
@@ -788,6 +911,12 @@ fn main() -> ExitCode {
                 quality: obs::quality::global().map(|(_, hub)| Arc::clone(hub)),
                 drift: obs::drift::global().map(|(_, engine)| Arc::clone(engine)),
                 build: Some(Arc::new(obs::BuildInfo::register(obs::Registry::global()))),
+                // Resolved per request: the lifecycle pilot installs
+                // itself after the server is already up (fleet
+                // --registry), and /models goes live the moment it does.
+                models: Some(Arc::new(|| {
+                    lifecycle::global().map(|pilot| pilot.models_json())
+                })),
             };
             match obs::TelemetryServer::spawn_with(
                 addr,
@@ -796,7 +925,7 @@ fn main() -> ExitCode {
             ) {
                 Ok(server) => {
                     eprintln!(
-                        "telemetry: serving /metrics /healthz /slo /journal /quality /drift{} on http://{}",
+                        "telemetry: serving /metrics /healthz /slo /journal /quality /drift /models{} on http://{}",
                         if trace.is_some() { " /trace" } else { "" },
                         server.local_addr()
                     );

@@ -10,6 +10,8 @@
 //! * [`features`] — packet-group, launch, volumetric and transition features
 //! * [`pipeline`] — the real-time context classification pipeline
 //! * [`obs`] — metrics registry, histograms, span timers and exporters
+//! * [`lifecycle`] — versioned model registry, hot-swap slot, A/B shadow
+//!   scoring
 //! * [`ingest`] — paced replay, bounded ingest queues and graceful shutdown
 //! * [`deploy`] — training, fleet simulation and aggregate reporting
 
@@ -20,6 +22,7 @@ pub use cgc_deploy as deploy;
 pub use cgc_domain as domain;
 pub use cgc_features as features;
 pub use cgc_ingest as ingest;
+pub use cgc_lifecycle as lifecycle;
 pub use cgc_obs as obs;
 pub use gamesim as sim;
 pub use mlcore as ml;

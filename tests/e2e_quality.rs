@@ -98,6 +98,7 @@ fn drift_alarm_and_accuracy_drop_surface_over_http() {
             quality: obs::quality::global().map(|(_, hub)| Arc::clone(hub)),
             drift: obs::drift::global().map(|(_, engine)| Arc::clone(engine)),
             build: Some(Arc::new(obs::BuildInfo::register(Registry::global()))),
+            models: None,
         },
     )
     .unwrap();

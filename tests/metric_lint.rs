@@ -97,6 +97,9 @@ fn every_registered_family_is_lint_clean() {
     let _ = obs::QualityHub::new(obs::QualityConfig::default(), &extra);
     let _ = obs::DriftEngine::new(obs::DriftConfig::default(), &extra);
     let _ = obs::BuildInfo::register(&extra);
+    // The model-lifecycle families: cgc_model_version and every
+    // cgc_lifecycle_* gauge/counter the pilot narrates swaps through.
+    let _ = gamescope::lifecycle::LifecycleMetrics::register(&extra);
 
     let mut families: BTreeMap<String, BTreeMap<Vec<String>, String>> = BTreeMap::new();
     collect(&run.fleet.snapshot, "replay registry", &mut families);
