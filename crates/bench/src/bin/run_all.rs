@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_table5",
     "exp_platforms",
     "exp_ablations",
+    "exp_impair_regimes",
 ];
 
 fn main() {

@@ -17,7 +17,7 @@ use cgc_features::vol_attrs::raw_features;
 use gamesim::dataset::sample_lab_settings;
 use gamesim::profile::TitleProfile;
 use gamesim::{Fidelity, Session, SessionConfig, SessionGenerator, TitleKind};
-use nettrace::impair::{Impairment, ImpairmentConfig};
+use nettrace::impair::{Impairment, ImpairmentConfig, ImpairmentProfile};
 use nettrace::units::MICROS_PER_SEC;
 use nettrace::vol::VolSeries;
 use rand::rngs::StdRng;
@@ -65,6 +65,19 @@ pub struct FleetConfig {
     pub unknown_variants: u32,
     /// Fraction of sessions behind degraded network paths.
     pub impaired_fraction: f64,
+    /// Named impairment profile applied to the impaired slice. `None`
+    /// keeps the legacy `poor_network` channel; `Some(profile)` routes
+    /// impaired sessions through the adversarial network-condition engine
+    /// (correlated jitter, bufferbloat queueing, capacity schedules) with
+    /// mid-session degradation onsets where the profile defines one.
+    pub impair_profile: Option<ImpairmentProfile>,
+    /// Quality sink for the withheld-truth join; `None` uses the
+    /// process-global sink. Experiments sweeping several regimes in one
+    /// process install one private hub per regime through this.
+    pub quality: Option<cgc_obs::quality::QualitySink>,
+    /// Drift sink attached to every session's analyzer; `None` uses the
+    /// process-global sink.
+    pub drift: Option<cgc_obs::drift::DriftSink>,
     /// Sample catalog titles uniformly instead of by popularity —
     /// calibration passes use this so rare titles (Hearthstone is 0.04 %
     /// of playtime) still get their demand measured.
@@ -93,6 +106,9 @@ impl Default for FleetConfig {
             unknown_fraction: 0.25,
             unknown_variants: 8,
             impaired_fraction: 0.08,
+            impair_profile: None,
+            quality: None,
+            drift: None,
             uniform_titles: false,
             deployment_days: 90, // 1 Dec 2024 – 1 Mar 2025
             workers: std::thread::available_parallelism()
@@ -123,6 +139,14 @@ pub struct SessionRecord {
     pub peak_down_mbps: f64,
     /// Whether the session ran behind a degraded network path.
     pub impaired: bool,
+    /// Name of the impairment profile applied, when the fleet ran with
+    /// [`FleetConfig::impair_profile`] and this session drew the impaired
+    /// slice (`None` on the legacy path and for unimpaired sessions).
+    pub impair_profile: Option<String>,
+    /// Degradation onset within the session, microseconds from session
+    /// start, for profiles that degrade mid-session (`None` when the
+    /// impairment applies from the first packet, or no impairment).
+    pub degradation_onset_us: Option<u64>,
     /// Session arrival time within the simulated deployment window,
     /// microseconds since deployment start (diurnal, evening-peaked).
     pub arrival: u64,
@@ -173,8 +197,9 @@ fn sample_kind(rng: &mut StdRng, cfg: &FleetConfig) -> TitleKind {
 
 /// Relative session-arrival weight per hour of day: cloud gaming peaks in
 /// the evening (the "peak hours" §5.2 worries about) and bottoms out
-/// overnight.
-const DIURNAL_WEIGHTS: [f64; 24] = [
+/// overnight. Public so impairment scheduling (and the diurnal experiment)
+/// compose with the same arrival model.
+pub const DIURNAL_WEIGHTS: [f64; 24] = [
     3.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 3.0, // 00-07
     4.0, 5.0, 5.0, 6.0, 7.0, 7.0, 8.0, 9.0, // 08-15
     10.0, 12.0, 14.0, 16.0, 15.0, 12.0, 8.0, 5.0, // 16-23
@@ -230,6 +255,91 @@ fn impair_session(s: &mut Session, rng: &mut StdRng) -> QoeInputs {
     }
 }
 
+/// Residual-capacity factor for an arrival hour: shared access segments
+/// have the least headroom when the most neighbours stream. Peak-hour
+/// arrivals see half the profile's nominal capacity; overnight arrivals a
+/// modest surplus. Reuses the diurnal arrival weights so `--impair`
+/// composes with the same schedule windows as `exp_diurnal`.
+pub fn diurnal_congestion_factor(hour: usize) -> f64 {
+    let max_w = DIURNAL_WEIGHTS
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let w = DIURNAL_WEIGHTS[hour % 24] / max_w; // 0..=1, 1 at peak
+    (1.25 - 0.75 * w).clamp(0.5, 1.25)
+}
+
+/// QoE context of a clean (unimpaired) session — also the pre-onset
+/// context of a session that degrades mid-stream.
+fn clean_qoe(settings: &StreamSettings, rng: &mut StdRng) -> QoeInputs {
+    QoeInputs {
+        nominal_fps: settings.fps as f64,
+        latency_ms: rng.gen_range(8.0..25.0),
+        loss_rate: rng.gen_range(0.0..0.002),
+        settings_factor: settings.bitrate_factor(),
+        delivered_fps_ratio: 1.0,
+    }
+}
+
+/// Result of routing a session through a named impairment profile.
+struct ProfileImpairment {
+    /// QoS context in effect from the session start.
+    qoe_pre: QoeInputs,
+    /// QoS context from the degradation onset on (same as `qoe_pre` when
+    /// the profile applies from the first packet).
+    qoe_post: QoeInputs,
+    /// Degradation onset, microseconds from session start.
+    onset: Option<u64>,
+}
+
+/// Degrades a fleet session through a named impairment profile: launch
+/// packets through the profile's channel (correlated jitter, burst loss,
+/// bufferbloat queue over its capacity schedule), the volumetric series
+/// through capacity caps and loss thinning from the onset, and synthesizes
+/// the gray-box QoS context the observability module would measure on such
+/// a link. `capacity_scale` composes the profile with an external schedule
+/// window (diurnal congestion); 1.0 is neutral.
+fn impair_session_profile(
+    profile: &ImpairmentProfile,
+    s: &mut Session,
+    rng: &mut StdRng,
+    capacity_scale: f64,
+) -> ProfileImpairment {
+    let duration = s.vol.width * s.vol.samples.len() as u64;
+    let seed: u64 = rng.gen();
+    let mut plan = profile.instantiate(seed, duration);
+    if capacity_scale != 1.0 {
+        if let Some(b) = &mut plan.config.bottleneck {
+            b.capacity = b.capacity.scaled(capacity_scale);
+        }
+    }
+    if profile.is_degrading() {
+        let mut channel = Impairment::new(plan.config.clone());
+        s.packets = channel.apply_all(&s.packets);
+        channel.degrade_vol(&mut s.vol, plan.onset.unwrap_or(0));
+    }
+    let (lat_lo, lat_hi) = profile.latency_ms;
+    let (fps_lo, fps_hi) = profile.delivered_fps_ratio;
+    let qoe_post = QoeInputs {
+        nominal_fps: s.settings.fps as f64,
+        latency_ms: rng.gen_range(lat_lo..lat_hi.max(lat_lo + f64::EPSILON)),
+        loss_rate: profile.expected_loss_rate(),
+        settings_factor: s.settings.bitrate_factor(),
+        delivered_fps_ratio: rng.gen_range(fps_lo..fps_hi.max(fps_lo + f64::EPSILON)),
+    };
+    let qoe_pre = if plan.onset.is_some() {
+        clean_qoe(&s.settings, rng)
+    } else {
+        qoe_post
+    };
+    ProfileImpairment {
+        qoe_pre,
+        qoe_post,
+        onset: plan.onset,
+    }
+}
+
 fn run_one(
     models: FleetModels<'_>,
     cfg: &FleetConfig,
@@ -251,16 +361,41 @@ fn run_one(
         seed: cfg.seed.wrapping_add(id.wrapping_mul(0x51ed_270b)),
     });
 
-    let impaired = rng.gen_bool(cfg.impaired_fraction);
-    let qoe = if impaired {
-        impair_session(&mut session, &mut rng)
-    } else {
-        QoeInputs {
-            nominal_fps: settings.fps as f64,
-            latency_ms: rng.gen_range(8.0..25.0),
-            loss_rate: rng.gen_range(0.0..0.002),
-            settings_factor: settings.bitrate_factor(),
-            delivered_fps_ratio: 1.0,
+    // Impairment. Legacy mode (no named profile) keeps the historical RNG
+    // draw order byte-for-byte so seeded fleets stay reproducible across
+    // releases; profile mode samples the arrival first so diurnal profiles
+    // can scale their capacity schedule by the hour's congestion.
+    let impaired_draw = rng.gen_bool(cfg.impaired_fraction);
+    let (qoe, qoe_post, onset, impaired, arrival) = match &cfg.impair_profile {
+        Some(profile) => {
+            let arrival = sample_arrival(cfg.deployment_days, &mut rng);
+            let hour = ((arrival / 3_600_000_000) % 24) as usize;
+            let scale = if profile.diurnal {
+                diurnal_congestion_factor(hour)
+            } else {
+                1.0
+            };
+            if impaired_draw {
+                let pi = impair_session_profile(profile, &mut session, &mut rng, scale);
+                (
+                    pi.qoe_pre,
+                    Some(pi.qoe_post),
+                    pi.onset,
+                    profile.is_degrading(),
+                    arrival,
+                )
+            } else {
+                (clean_qoe(&settings, &mut rng), None, None, false, arrival)
+            }
+        }
+        None => {
+            let qoe = if impaired_draw {
+                impair_session(&mut session, &mut rng)
+            } else {
+                clean_qoe(&settings, &mut rng)
+            };
+            let arrival = sample_arrival(cfg.deployment_days, &mut rng);
+            (qoe, None, None, impaired_draw, arrival)
         }
     };
 
@@ -287,21 +422,49 @@ fn run_one(
     slot_mbps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let peak_down_mbps = nettrace::stats::percentile_sorted(&slot_mbps, 0.95);
 
-    let arrival = sample_arrival(cfg.deployment_days, &mut rng);
-
     // Run the pipeline. Flight-record against the session id (per-session
     // runs have no five-tuple hash), timestamped from the arrival instant.
     let mut analyzer = SessionAnalyzer::new(bundle, AnalyzerConfig::default(), qoe);
     analyzer.attach_journal(cgc_obs::journal::global_sink(), id, arrival);
-    analyzer.attach_drift(cgc_obs::drift::global_sink());
-    analyzer.analyze(&session.packets, &session.vol);
+    analyzer.attach_drift(
+        cfg.drift
+            .clone()
+            .unwrap_or_else(cgc_obs::drift::global_sink),
+    );
+    match (onset, qoe_post) {
+        // Mid-session degradation: feed slots one by one and swap the QoS
+        // context at the first slot boundary past the onset, so the QoE
+        // estimator sees the link change exactly when the channel did.
+        (Some(onset_us), Some(post)) => {
+            analyzer.ingest_title_window(&session.packets);
+            let series = if session.vol.width == bundle.stage_slot {
+                session.vol.clone()
+            } else {
+                session
+                    .vol
+                    .rebin((bundle.stage_slot / session.vol.width) as usize)
+            };
+            let mut swapped = false;
+            for (i, s) in series.samples.iter().enumerate() {
+                if !swapped && i as u64 * series.width >= onset_us {
+                    analyzer.set_qoe(post);
+                    swapped = true;
+                }
+                analyzer.push_slot(s);
+            }
+        }
+        _ => analyzer.analyze(&session.packets, &session.vol),
+    }
     let report = analyzer.finish();
 
     // Truth join: the fleet simulator withholds the ground-truth labels
     // ("server logs") from the pipeline, then streams (truth, predicted)
     // pairs into the quality hub here — per session for title/pattern,
     // per slot for stage. Free when no hub is installed.
-    let quality = cgc_obs::quality::global_sink();
+    let quality = cfg
+        .quality
+        .clone()
+        .unwrap_or_else(cgc_obs::quality::global_sink);
     if quality.is_enabled() {
         use cgc_obs::quality::{pattern_class, stage_class, title_class, ModelKind};
         quality.emit(
@@ -378,6 +541,8 @@ fn run_one(
         truth_mean_down_mbps,
         peak_down_mbps,
         impaired,
+        impair_profile: cfg.impair_profile.as_ref().map(|p| p.name.to_string()),
+        degradation_onset_us: onset,
         arrival,
         model_version,
         report,
@@ -925,6 +1090,111 @@ mod tests {
         let correct = known.iter().filter(|r| r.title_correct()).count();
         let acc = correct as f64 / known.len().max(1) as f64;
         assert!(acc > 0.7, "fleet title accuracy {acc}");
+    }
+
+    #[test]
+    fn clean_profile_fleet_is_indistinguishable_from_unimpaired() {
+        let bundle = train_bundle(&TrainConfig::quick());
+        let cfg = FleetConfig {
+            n_sessions: 10,
+            duration_scale: 0.05,
+            workers: 4,
+            impaired_fraction: 1.0,
+            impair_profile: ImpairmentProfile::by_name("clean"),
+            ..Default::default()
+        };
+        let records = run_fleet(&bundle, &cfg);
+        let baseline = run_fleet(
+            &bundle,
+            &FleetConfig {
+                impaired_fraction: 0.0,
+                impair_profile: None,
+                ..cfg
+            },
+        );
+        for (r, b) in records.iter().zip(&baseline) {
+            assert_eq!(r.impair_profile.as_deref(), Some("clean"));
+            assert!(!r.impaired, "clean profile must not flag sessions");
+            assert_eq!(r.degradation_onset_us, None);
+            // Sessions are generated from an id-derived seed, and the clean
+            // profile's QoS draws land in the same always-Good latency/loss
+            // bands as the unimpaired path, so verdicts must agree exactly.
+            assert_eq!(r.report.objective_qoe, b.report.objective_qoe);
+            assert_eq!(r.report.title, b.report.title);
+            assert_eq!(r.report.stage_slots, b.report.stage_slots);
+        }
+    }
+
+    #[test]
+    fn degrading_profile_fleet_records_onset_and_flips_qoe() {
+        use cgc_domain::QoeLevel;
+        let bundle = train_bundle(&TrainConfig::quick());
+        let cfg = FleetConfig {
+            n_sessions: 10,
+            duration_scale: 0.05,
+            workers: 4,
+            impaired_fraction: 1.0,
+            impair_profile: ImpairmentProfile::by_name("lte-handover"),
+            ..Default::default()
+        };
+        let records = run_fleet(&bundle, &cfg);
+        let mut pre = [0u64; 2]; // [not-good, total] before onset
+        let mut post = [0u64; 2];
+        for r in &records {
+            assert!(r.impaired);
+            assert_eq!(r.impair_profile.as_deref(), Some("lte-handover"));
+            let onset = r.degradation_onset_us.expect("lte-handover has an onset");
+            for (i, &(obj, _)) in r.report.qoe_slots.iter().enumerate() {
+                let bucket = if (i as u64) * r.report.slot_width < onset {
+                    &mut pre
+                } else {
+                    &mut post
+                };
+                bucket[0] += u64::from(obj != QoeLevel::Good);
+                bucket[1] += 1;
+            }
+        }
+        assert!(pre[1] > 0 && post[1] > 0, "slots on both sides of onset");
+        let pre_bad = pre[0] as f64 / pre[1] as f64;
+        let post_bad = post[0] as f64 / post[1] as f64;
+        assert!(
+            post_bad > pre_bad,
+            "QoE must be worse after onset (pre {pre_bad:.2}, post {post_bad:.2})"
+        );
+    }
+
+    #[test]
+    fn fleet_truth_join_uses_injected_quality_sink() {
+        use cgc_obs::quality::{QualityConfig, QualityHub};
+        let bundle = train_bundle(&TrainConfig::quick());
+        let registry = cgc_obs::Registry::new();
+        let (sink, mut hub) = QualityHub::new(
+            QualityConfig {
+                profile: Some("lossy-wifi"),
+                ..QualityConfig::default()
+            },
+            &registry,
+        );
+        let cfg = FleetConfig {
+            n_sessions: 6,
+            duration_scale: 0.05,
+            workers: 2,
+            impaired_fraction: 1.0,
+            impair_profile: ImpairmentProfile::by_name("lossy-wifi"),
+            quality: Some(sink),
+            ..Default::default()
+        };
+        let records = run_fleet(&bundle, &cfg);
+        assert_eq!(records.len(), 6);
+        assert!(hub.drain_and_sync() > 0, "injected sink received samples");
+        let snap = registry.snapshot();
+        let labeled = snap.metrics.iter().any(|m| {
+            m.name == "cgc_quality_accuracy_pct"
+                && m.labels
+                    .iter()
+                    .any(|(k, v)| k == "profile" && v == "lossy-wifi")
+        });
+        assert!(labeled, "profile label present on quality series");
     }
 
     #[test]

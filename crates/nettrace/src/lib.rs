@@ -13,9 +13,10 @@
 //!   round-trip through the same file format as lab Wireshark captures.
 //! * [`slots`] — fixed-width time-slot aggregation (the paper computes every
 //!   attribute per `T`- or `I`-second slot).
-//! * [`impair`] — a network impairment channel (delay, jitter, random and
-//!   bursty loss, token-bucket rate limiting) for fault-injection testing in
-//!   the spirit of smoltcp's example harnesses.
+//! * [`impair`] — an adversarial network-condition engine: correlated
+//!   (AR(1)/two-state) jitter, Gilbert–Elliott burst loss, bufferbloat-style
+//!   bottleneck queueing over piecewise capacity traces, and a named,
+//!   versioned impairment-profile catalog for fault-injection testing.
 //! * [`stats`] — small numeric helpers (mean/std/percentile) shared by the
 //!   feature extractors.
 //! * [`metrics`] — trace-layer telemetry counters (packets seen, RTP parse
@@ -43,7 +44,10 @@ pub use clock::{
     shift_micros, Clock, OffsetClock, RealClock, SharedClock, SkewMicros, VirtualClock,
 };
 pub use flow::{FlowKey, FlowStats, FlowTable};
-pub use impair::{Impairment, ImpairmentConfig, LossModel};
+pub use impair::{
+    Bottleneck, CapacitySchedule, Impairment, ImpairmentConfig, ImpairmentPlan, ImpairmentProfile,
+    JitterModel, JitterProcess, LossModel,
+};
 pub use packet::{Direction, FiveTuple, Packet, Protocol};
 pub use slots::{SlotSeries, SlotView};
 pub use units::{Micros, BITS_PER_BYTE, MICROS_PER_SEC};

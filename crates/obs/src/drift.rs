@@ -82,6 +82,10 @@ pub struct DriftConfig {
     /// Multiplying the stage reference/window/min-window keeps the
     /// *time* span of the comparison comparable across models.
     pub stage_scale: usize,
+    /// Optional impairment-profile label added to every drift family
+    /// (`profile=`). `None` (the default) keeps the legacy label set; as
+    /// with quality, a process must pick one convention per registry.
+    pub profile: Option<&'static str>,
 }
 
 impl Default for DriftConfig {
@@ -95,6 +99,7 @@ impl Default for DriftConfig {
             novelty_threshold: 0.65,
             alarm_threshold: 0.25,
             stage_scale: 16,
+            profile: None,
         }
     }
 }
@@ -247,10 +252,24 @@ struct ModelDrift {
 }
 
 impl ModelDrift {
-    fn new(kind: ModelKind, bins: usize, registry: &Registry) -> ModelDrift {
+    fn new(
+        kind: ModelKind,
+        bins: usize,
+        registry: &Registry,
+        profile: Option<&'static str>,
+    ) -> ModelDrift {
         let model = kind.name();
-        let signal = |family: &str, help: &str, s: &str| {
-            registry.gauge_with(family, help, &[("model", model), ("signal", s)])
+        let signal = |family: &str, help: &str, s: &str| match profile {
+            Some(p) => registry.gauge_with(
+                family,
+                help,
+                &[("model", model), ("signal", s), ("profile", p)],
+            ),
+            None => registry.gauge_with(family, help, &[("model", model), ("signal", s)]),
+        };
+        let plain = |family: &str, help: &str| match profile {
+            Some(p) => registry.gauge_with(family, help, &[("model", model), ("profile", p)]),
+            None => registry.gauge_with(family, help, &[("model", model)]),
         };
         ModelDrift {
             kind,
@@ -287,25 +306,21 @@ impl ModelDrift {
                 "Max CDF distance vs frozen reference, x1000",
                 "margin",
             ),
-            g_novelty: registry.gauge_with(
+            g_novelty: plain(
                 "cgc_drift_novelty_milli",
                 "Low-confidence (novel-title) fraction of the current window, x1000",
-                &[("model", model)],
             ),
-            g_score: registry.gauge_with(
+            g_score: plain(
                 "cgc_drift_score_milli",
                 "Worst drift statistic of the model (PSI units x1000)",
-                &[("model", model)],
             ),
-            g_window_len: registry.gauge_with(
+            g_window_len: plain(
                 "cgc_drift_window_len",
                 "Observations currently in the drift window",
-                &[("model", model)],
             ),
-            g_frozen: registry.gauge_with(
+            g_frozen: plain(
                 "cgc_drift_reference_frozen",
                 "1 once the model's reference distribution is frozen",
-                &[("model", model)],
             ),
         }
     }
@@ -414,20 +429,24 @@ impl DriftEngine {
     /// Builds the sink/engine pair, registering every gauge/counter on
     /// `registry` up front.
     pub fn new(config: DriftConfig, registry: &Registry) -> (DriftSink, DriftEngine) {
+        let counter = |family: &str, help: &str| match config.profile {
+            Some(p) => registry.counter_with(family, help, &[("profile", p)]),
+            None => registry.counter(family, help),
+        };
         let shared = Arc::new(SinkShared {
             ring: EventRing::with_capacity(config.ring_capacity),
-            recorded: registry.counter(
+            recorded: counter(
                 "cgc_drift_observations_total",
                 "Score observations accepted by the drift sink",
             ),
-            shed: registry.counter(
+            shed: counter(
                 "cgc_drift_shed_total",
                 "Score observations dropped because the drift ring was full",
             ),
         });
         let models = ModelKind::ALL
             .iter()
-            .map(|&kind| ModelDrift::new(kind, config.bins.max(2), registry))
+            .map(|&kind| ModelDrift::new(kind, config.bins.max(2), registry, config.profile))
             .collect();
         let sink = DriftSink {
             shared: Arc::clone(&shared).into(),
@@ -857,5 +876,45 @@ mod tests {
         let sink = DriftSink::disabled();
         assert!(!sink.is_enabled());
         sink.observe(ModelKind::Title, 0.9, 0.5);
+    }
+
+    #[test]
+    fn profile_label_is_applied_when_configured() {
+        let registry = Registry::new();
+        let (sink, mut eng) = DriftEngine::new(
+            DriftConfig {
+                profile: Some("lte-handover"),
+                reference_size: 8,
+                window: 8,
+                min_window: 4,
+                ..DriftConfig::default()
+            },
+            &registry,
+        );
+        for _ in 0..16 {
+            sink.observe(ModelKind::Title, 0.9, 0.5);
+        }
+        eng.drain_and_sync();
+        let snap = registry.snapshot();
+        assert!(snap
+            .get_with(
+                "cgc_drift_score_milli",
+                &[("model", "title"), ("profile", "lte-handover")]
+            )
+            .is_some());
+        assert!(snap
+            .get_with("cgc_drift_score_milli", &[("model", "title")])
+            .is_none());
+        assert!(snap
+            .get_with(
+                "cgc_drift_psi_milli",
+                // Snapshot labels are stored sorted by key.
+                &[
+                    ("model", "title"),
+                    ("profile", "lte-handover"),
+                    ("signal", "confidence")
+                ]
+            )
+            .is_some());
     }
 }

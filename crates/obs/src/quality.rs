@@ -150,6 +150,13 @@ pub struct QualityConfig {
     pub ring_capacity: usize,
     /// Rolling evaluation window per model, in samples.
     pub window: usize,
+    /// Optional impairment-profile label added to every quality family
+    /// (`profile=`), so per-regime hubs stay distinguishable when their
+    /// registries are scraped side by side. `None` (the default) keeps the
+    /// legacy label set; a process must pick one convention per registry —
+    /// mixing labeled and unlabeled hubs on the same registry would violate
+    /// the one-label-set-per-family metrics contract.
+    pub profile: Option<&'static str>,
 }
 
 impl Default for QualityConfig {
@@ -157,6 +164,7 @@ impl Default for QualityConfig {
         QualityConfig {
             ring_capacity: 1 << 15,
             window: 512,
+            profile: None,
         }
     }
 }
@@ -223,16 +231,28 @@ struct ModelState {
 }
 
 impl ModelState {
-    fn new(kind: ModelKind, registry: &Registry) -> ModelState {
+    fn new(kind: ModelKind, registry: &Registry, profile: Option<&'static str>) -> ModelState {
         let model = kind.name();
         let n = kind.n_classes();
+        // With a profile configured, every family carries the extra label.
+        let labeled = |mut labels: Vec<(&'static str, String)>| -> Vec<(&'static str, String)> {
+            if let Some(p) = profile {
+                labels.push(("profile", p.to_string()));
+            }
+            labels
+        };
+        let gauge = |family: &str, help: &str, labels: Vec<(&'static str, String)>| {
+            let labels = labeled(labels);
+            let refs: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            registry.gauge_with(family, help, &refs)
+        };
         let per_class = |family: &str, help: &str| -> Vec<Arc<Gauge>> {
             (0..n)
                 .map(|c| {
-                    registry.gauge_with(
+                    gauge(
                         family,
                         help,
-                        &[("model", model), ("class", &kind.class_name(c))],
+                        vec![("model", model.into()), ("class", kind.class_name(c))],
                     )
                 })
                 .collect()
@@ -241,15 +261,15 @@ impl ModelState {
             kind,
             window: VecDeque::new(),
             matrix: ConfusionMatrix::new(n),
-            accuracy: registry.gauge_with(
+            accuracy: gauge(
                 "cgc_quality_accuracy_pct",
                 "Rolling-window accuracy where ground truth is available, percent",
-                &[("model", model)],
+                vec![("model", model.into())],
             ),
-            window_len: registry.gauge_with(
+            window_len: gauge(
                 "cgc_quality_window_len",
                 "Labeled samples currently in the rolling quality window",
-                &[("model", model)],
+                vec![("model", model.into())],
             ),
             recall: per_class(
                 "cgc_quality_recall_pct",
@@ -299,20 +319,24 @@ impl QualityHub {
     /// `registry` up front (so the families exist — and lint — before the
     /// first sample arrives).
     pub fn new(config: QualityConfig, registry: &Registry) -> (QualitySink, QualityHub) {
+        let counter = |family: &str, help: &str| match config.profile {
+            Some(p) => registry.counter_with(family, help, &[("profile", p)]),
+            None => registry.counter(family, help),
+        };
         let shared = Arc::new(SinkShared {
             ring: EventRing::with_capacity(config.ring_capacity),
-            recorded: registry.counter(
+            recorded: counter(
                 "cgc_quality_samples_total",
                 "Labeled (predicted, truth) pairs accepted by the quality sink",
             ),
-            shed: registry.counter(
+            shed: counter(
                 "cgc_quality_shed_total",
                 "Labeled pairs dropped because the quality ring was full",
             ),
         });
         let models = ModelKind::ALL
             .iter()
-            .map(|&kind| ModelState::new(kind, registry))
+            .map(|&kind| ModelState::new(kind, registry, config.profile))
             .collect();
         let sink = QualitySink {
             shared: Some(Arc::clone(&shared)),
@@ -610,6 +634,7 @@ mod tests {
             QualityConfig {
                 ring_capacity: 8,
                 window: 1024,
+                ..QualityConfig::default()
             },
             &registry,
         );
@@ -662,6 +687,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn profile_label_is_applied_when_configured() {
+        let registry = Registry::new();
+        let (sink, mut hub) = QualityHub::new(
+            QualityConfig {
+                profile: Some("lossy-wifi"),
+                window: 8,
+                ..QualityConfig::default()
+            },
+            &registry,
+        );
+        sink.emit(ModelKind::Stage, 1, 1);
+        hub.drain_and_sync();
+        let snap = registry.snapshot();
+        assert!(snap
+            .get_with(
+                "cgc_quality_accuracy_pct",
+                &[("model", "stage"), ("profile", "lossy-wifi")]
+            )
+            .is_some());
+        // No unlabeled twin series: the whole family carries the label.
+        assert!(snap
+            .get_with("cgc_quality_accuracy_pct", &[("model", "stage")])
+            .is_none());
+        assert!(snap
+            .get_with("cgc_quality_samples_total", &[("profile", "lossy-wifi")])
+            .is_some());
     }
 
     #[test]

@@ -490,9 +490,13 @@ impl SnapshotBridge {
             .iter()
             .filter(|m| m.name == "cgc_quality_accuracy_pct")
             .filter_map(|m| {
-                let model = m.labels.iter().find(|(k, _)| k == "model")?.1.as_str();
+                // Pair each accuracy series with the window_len series that
+                // carries the same full label set, so extra labels (e.g. an
+                // impairment `profile`) never silently break the pairing.
                 let filled = snap
-                    .get_with("cgc_quality_window_len", &[("model", model)])
+                    .metrics
+                    .iter()
+                    .find(|w| w.name == "cgc_quality_window_len" && w.labels == m.labels)
                     .is_some_and(
                         |w| matches!(w.value, crate::snapshot::MetricValue::Gauge(v) if v > 0),
                     );

@@ -8,6 +8,7 @@
 //! gamescope fleet [--sessions 300] [--bundle bundle.json] [--telemetry-every 50]
 //!                 [--serve 127.0.0.1:9090] [--journal fleet.jsonl]
 //!                 [--registry models/] [--promote auto|manual] [--retrain]
+//!                 [--impair lte-handover]
 //! gamescope fleet --replay s.pcap|sim [--pace 1.0] [--backpressure block]
 //! gamescope fleet --replay merge --input a.pcap --input b.pcap@-1500
 //! ```
@@ -55,7 +56,7 @@ use gamescope::pipeline::shard::{ShardedMonitorConfig, ShardedTapMonitor};
 use gamescope::pipeline::{ModelBundle, ModelSource};
 use gamescope::sim::{Fidelity, SessionConfig, SessionGenerator, TitleKind};
 use gamescope::trace::clock::RealClock;
-use gamescope::trace::pcap;
+use gamescope::trace::{pcap, ImpairmentProfile};
 
 /// Ctrl-C handling: a process-wide flag the long-running paths poll so an
 /// interrupt triggers a graceful drain instead of an abort.
@@ -103,6 +104,7 @@ USAGE:
   gamescope fleet    [--sessions <n>] [--bundle <bundle.json>] [--quick]
                      [--telemetry-every <n>] [--serve <addr>]
                      [--registry <dir>] [--promote <auto|manual>] [--retrain]
+                     [--impair <profile>]
   gamescope fleet    --replay <s.pcap|sim|merge> [--pace <x>] [--shards <n>]
                      [--backpressure <block|drop-oldest|drop-newest>]
                      [--queues <n>] [--queue-capacity <n>] [--secs <n>]
@@ -150,6 +152,17 @@ FLEET LIFECYCLE:
                        candidate live with zero pipeline stall
   --retrain            force the shadow retrain even without a drift
                        alarm
+
+FLEET IMPAIRMENT:
+  --impair <profile>   route the impaired fraction of sessions through a
+                       named adversarial network profile instead of the
+                       legacy generic poor-network channel. Profiles
+                       (mildest first): clean, dsl-bloated, lossy-wifi,
+                       lte-handover, congested-evening. See
+                       docs/IMPAIRMENTS.md for the knob catalog and the
+                       symptom signature each leaves on /metrics and
+                       /drift. With --quality or --serve the quality and
+                       drift families carry a profile=<name> label.
 
 Ctrl-C during fleet or replay triggers a graceful drain: in-flight work
 finishes, queues empty, and open flows get final session verdicts.
@@ -596,6 +609,23 @@ fn cmd_fleet(mut args: Vec<String>) -> Result<(), String> {
     if let Some(v) = take_value(&mut args, "--telemetry-every")? {
         cfg.telemetry_every = parse("--telemetry-every", &v)?;
     }
+    if let Some(v) = take_value(&mut args, "--impair")? {
+        let profile = ImpairmentProfile::by_name(&v).ok_or_else(|| {
+            let names: Vec<&str> = ImpairmentProfile::ALL.iter().map(|p| p.name).collect();
+            format!(
+                "--impair: unknown profile {v:?}; available: {}",
+                names.join(", ")
+            )
+        })?;
+        eprintln!(
+            "impairment: {} v{} — {} (severity {}/4)",
+            profile.name, profile.version, profile.summary, profile.severity
+        );
+        cfg.impair_profile = Some(profile);
+        // The legacy default impairs only a slice of the fleet; a named
+        // profile describes the whole access network it models.
+        cfg.impaired_fraction = 1.0;
+    }
     let registry_dir = take_value(&mut args, "--registry")?;
     let promote_policy = match take_value(&mut args, "--promote")? {
         Some(v) => PromotePolicy::parse(&v)
@@ -862,8 +892,24 @@ fn main() -> ExitCode {
     // zero-alloc and untouched.
     let quality_on = quality_flag || serve_addr.is_some();
     if quality_on {
-        obs::quality::install_global(obs::QualityConfig::default());
-        let mut drift_cfg = obs::DriftConfig::default();
+        // Peeked here (cmd_fleet consumes and validates the flag) so the
+        // global quality/drift families carry the profile label from the
+        // moment they are installed — relabeling after install would
+        // split every series.
+        let impair_label: Option<&'static str> = args
+            .iter()
+            .position(|a| a == "--impair")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| ImpairmentProfile::by_name(v))
+            .map(|p| p.name);
+        obs::quality::install_global(obs::QualityConfig {
+            profile: impair_label,
+            ..obs::QualityConfig::default()
+        });
+        let mut drift_cfg = obs::DriftConfig {
+            profile: impair_label,
+            ..obs::DriftConfig::default()
+        };
         if let Some(n) = drift_window {
             drift_cfg.window = n;
         }

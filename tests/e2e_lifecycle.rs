@@ -61,6 +61,7 @@ fn drift_alarm_drives_retrain_shadow_promotion_and_rollback_over_http() {
     obs::quality::install_global(obs::QualityConfig {
         ring_capacity: 1 << 18,
         window: 64,
+        ..obs::QualityConfig::default()
     });
     obs::drift::install_global(obs::DriftConfig {
         ring_capacity: 1 << 18,

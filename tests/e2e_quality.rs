@@ -76,6 +76,7 @@ fn drift_alarm_and_accuracy_drop_surface_over_http() {
         // Short rolling window so phase B's accuracy reflects phase B,
         // not a blend with the stationary phase.
         window: 64,
+        ..obs::QualityConfig::default()
     });
     obs::drift::install_global(drift_cfg);
 
